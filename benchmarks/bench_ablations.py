@@ -1,0 +1,54 @@
+"""Ablations of NOMAD's design choices (DESIGN.md section 6).
+
+Not a paper figure: these isolate the mechanisms behind the headline
+numbers -- critical-data-first scheduling, serving data misses from the
+page copy buffer, and the background (proactive) eviction daemon.
+"""
+
+from conftest import BENCH_BASE, emit
+
+from repro.config.schemes import NomadConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_workload
+
+WL = "cact"
+
+
+def _run(tag, **cfg_kw):
+    cfg = NomadConfig(**cfg_kw)
+    res = run_workload(BENCH_BASE.with_(scheme="nomad", workload=WL,
+                                        nomad_cfg=cfg))
+    return {
+        "variant": tag,
+        "ipc": res.ipc,
+        "dc_access_time": res.dc_access_time,
+        "buffer_hit_ratio": res.buffer_hit_ratio,
+        "tag_latency": res.tag_mgmt_latency,
+    }
+
+
+def test_ablations(benchmark):
+    def _all():
+        return [
+            _run("full"),
+            _run("no-critical-data-first", critical_data_first=False),
+            _run("no-buffer-service", serve_from_copy_buffer=False),
+            _run("no-mutex (upper bound)", frontend_mutex=False),
+        ]
+
+    rows = benchmark.pedantic(_all, rounds=1, iterations=1)
+    emit("ablations", format_table(rows, title="NOMAD design ablations (cact)"))
+    by = {r["variant"]: r for r in rows}
+    full = by["full"]
+
+    # Critical-data-first: the demanded sub-block arrives first, so
+    # disabling it slows DC access (more sub-entry waits).
+    assert (by["no-critical-data-first"]["dc_access_time"]
+            >= full["dc_access_time"] * 0.95)
+
+    # Serving from the copy buffer is a large part of the win.
+    assert by["no-buffer-service"]["dc_access_time"] > full["dc_access_time"]
+    assert by["no-buffer-service"]["ipc"] <= full["ipc"] * 1.02
+
+    # The frame-management mutex costs some tag latency.
+    assert by["no-mutex (upper bound)"]["tag_latency"] <= full["tag_latency"]

@@ -1,0 +1,23 @@
+"""Fig. 7: effective DC access latency per scheme and (TLB, tag) case."""
+
+from conftest import BENCH_BASE, emit
+
+from repro.harness.experiments import experiment_fig07
+from repro.harness.reporting import format_table
+
+
+def test_fig07(benchmark):
+    table = benchmark.pedantic(
+        lambda: experiment_fig07(BENCH_BASE), rounds=1, iterations=1
+    )
+    rows = [dict(scheme=s, **cases) for s, cases in table.items()]
+    emit("fig07", format_table(
+        rows, title="Fig. 7: effective access latency (cycles, unloaded)"
+    ))
+    # (hit,hit): OS-managed near-ideal; TiD pays the in-DRAM tag read.
+    assert table["nomad"]["hit_hit"] <= table["ideal"]["hit_hit"] + 2
+    assert table["tid"]["hit_hit"] > table["nomad"]["hit_hit"]
+    # (miss,miss): blocking TDC pays the whole page copy; the
+    # non-blocking schemes hide it via critical-data-first.
+    assert table["tdc"]["miss_miss"] > 2 * table["nomad"]["miss_miss"]
+    assert table["tdc"]["miss_miss"] > 2 * table["tid"]["miss_miss"]

@@ -1,0 +1,49 @@
+"""Fig. 9: IPC relative to baseline + average DC access time.
+
+The headline evaluation: all 15 workloads x {TiD, TDC, NOMAD, Ideal}.
+"""
+
+from conftest import BENCH_BASE, emit
+
+from repro.harness.experiments import experiment_fig09
+from repro.harness.reporting import format_table
+from repro.workloads.presets import workloads_in_class
+
+
+def test_fig09(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig09(BENCH_BASE), rounds=1, iterations=1
+    )
+    emit("fig09_ipc", format_table(
+        rows,
+        columns=["workload", "paper_class", "tid_ipc_rel", "tdc_ipc_rel",
+                 "nomad_ipc_rel", "ideal_ipc_rel"],
+        title="Fig. 9 (top): IPC relative to baseline",
+    ))
+    emit("fig09_dct", format_table(
+        rows,
+        columns=["workload", "paper_class", "tid_dc_access_time",
+                 "tdc_dc_access_time", "nomad_dc_access_time",
+                 "ideal_dc_access_time"],
+        title="Fig. 9 (bottom): average DC access time (cycles)",
+    ))
+    by = {r["workload"]: r for r in rows}
+
+    for wl, r in by.items():
+        # Ideal is the upper bound of the OS-managed family.
+        assert r["ideal_ipc_rel"] >= r["tdc_ipc_rel"] * 0.95, wl
+        assert r["ideal_ipc_rel"] >= r["nomad_ipc_rel"] * 0.95, wl
+        # NOMAD never loses to the blocking scheme.
+        assert r["nomad_ipc_rel"] >= r["tdc_ipc_rel"] * 0.95, wl
+        # OS-managed access time beats tags-in-DRAM.
+        assert r["nomad_dc_access_time"] < r["tid_dc_access_time"], wl
+
+    # NOMAD approaches Ideal for Loose/Few workloads.
+    for wl in workloads_in_class("few"):
+        assert by[wl]["nomad_ipc_rel"] > 0.85 * by[wl]["ideal_ipc_rel"], wl
+
+    # For the Excess class the blocking scheme gives up most of the
+    # ideal gain; NOMAD recovers a large share of it.
+    for wl in workloads_in_class("excess"):
+        r = by[wl]
+        assert r["nomad_ipc_rel"] > r["tdc_ipc_rel"] * 1.05, wl

@@ -1,0 +1,33 @@
+"""Fig. 10: on-package DRAM bandwidth breakdown + row-buffer hit rates.
+
+The HW-based scheme spends a visible share of HBM bandwidth on metadata;
+OS-managed schemes spend none.
+"""
+
+from conftest import BENCH_BASE, emit
+
+from repro.harness.experiments import experiment_fig10
+from repro.harness.reporting import format_table
+
+WLS = ["cact", "sssp", "les", "bfs", "mcf", "pr", "tc"]
+
+
+def test_fig10(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig10(BENCH_BASE, workloads=WLS),
+        rounds=1, iterations=1,
+    )
+    emit("fig10", format_table(
+        rows,
+        title="Fig. 10: HBM bandwidth usage breakdown + row buffer hit rate",
+    ))
+    tid = {r["workload"]: r for r in rows if r["scheme"] == "tid"}
+    nomad = {r["workload"]: r for r in rows if r["scheme"] == "nomad"}
+    for wl in WLS:
+        # TiD always pays metadata bandwidth; OS-managed schemes never do.
+        assert tid[wl]["metadata_frac"] > 0.05, wl
+        assert nomad[wl]["metadata_frac"] == 0.0, wl
+    # Streaming workloads keep high row-buffer hit rates under NOMAD.
+    assert nomad["cact"]["row_hit_rate"] > 0.6
+    # Fill traffic is a visible share of HBM usage for Excess workloads.
+    assert nomad["cact"]["fill_frac"] > 0.1

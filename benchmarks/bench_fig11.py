@@ -1,0 +1,45 @@
+"""Fig. 11: application stall-cycle ratios + tag management latency.
+
+TDC's blocking stalls fall from ~tens of percent (Excess) to a few
+percent (Few); NOMAD cuts them by a large factor at the cost of a
+somewhat higher tag-management latency (mutex + PCSHR contention).
+"""
+
+from conftest import BENCH_BASE, emit
+
+from repro.harness.experiments import experiment_fig11
+from repro.harness.reporting import format_table
+from repro.workloads.presets import workloads_in_class
+
+
+def test_fig11(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig11(BENCH_BASE), rounds=1, iterations=1
+    )
+    emit("fig11", format_table(
+        rows, title="Fig. 11: stall ratios and tag management latency"
+    ))
+    by = {r["workload"]: r for r in rows}
+
+    # NOMAD reduces stalls for every workload with meaningful stalls.
+    reductions = []
+    for wl, r in by.items():
+        if r["tdc_stall_ratio"] > 0.05:
+            assert r["nomad_stall_ratio"] < r["tdc_stall_ratio"], wl
+            reductions.append(1 - r["nomad_stall_ratio"] / r["tdc_stall_ratio"])
+    mean_reduction = sum(reductions) / len(reductions)
+    # Paper: 76.1% average stall-cycle reduction.
+    assert mean_reduction > 0.45, f"stall reduction only {mean_reduction:.0%}"
+
+    # TDC stalls scale with RMHB class.
+    excess = sum(by[w]["tdc_stall_ratio"] for w in workloads_in_class("excess")) / 3
+    few = sum(by[w]["tdc_stall_ratio"] for w in workloads_in_class("few")) / 4
+    assert excess > 4 * few
+
+    # TDC tag latency is flat 400; NOMAD >= 400 and grows with contention.
+    for wl, r in by.items():
+        if r["tdc_tag_latency"]:
+            assert r["tdc_tag_latency"] == 400, wl
+        if r["nomad_tag_latency"]:
+            assert r["nomad_tag_latency"] >= 400, wl
+    assert by["cact"]["nomad_tag_latency"] > 400

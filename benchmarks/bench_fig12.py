@@ -1,0 +1,41 @@
+"""Fig. 12: per-class IPC and off-package bandwidth vs #PCSHRs.
+
+Performance rises with PCSHRs until miss-handling bandwidth saturates;
+the Excess class saturates around 8, Loose/Few need only 1-2.
+"""
+
+from conftest import BENCH_BASE, emit
+
+from repro.harness.experiments import experiment_fig12
+from repro.harness.reporting import format_table, rows_to_series, render_series
+
+
+def test_fig12(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig12(
+            BENCH_BASE, pcshr_counts=(1, 2, 4, 8, 16, 32),
+            workloads_per_class=1,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig12", render_series(
+        rows_to_series(rows, "class", "pcshrs", "ipc_rel_baseline"),
+        x_label="pcshrs",
+        title="Fig. 12: per-class IPC relative to baseline vs #PCSHRs",
+    ))
+    by = {(r["class"], r["pcshrs"]): r for r in rows}
+
+    # Excess: more PCSHRs help up to ~8, then the off-package memory
+    # becomes the bottleneck.
+    assert by[("excess", 8)]["ipc_rel_baseline"] > by[("excess", 1)]["ipc_rel_baseline"]
+    gain_8_32 = (by[("excess", 32)]["ipc_rel_baseline"]
+                 / by[("excess", 8)]["ipc_rel_baseline"])
+    assert gain_8_32 < 1.25, "beyond 8 PCSHRs gains should be marginal"
+
+    # Few-class workloads are insensitive: one PCSHR is enough.
+    few_1 = by[("few", 1)]["ipc_rel_baseline"]
+    few_32 = by[("few", 32)]["ipc_rel_baseline"]
+    assert few_32 < 1.15 * few_1
+
+    # Off-package bandwidth consumption grows with PCSHRs for Excess.
+    assert by[("excess", 8)]["ddr_gbps"] >= by[("excess", 1)]["ddr_gbps"]

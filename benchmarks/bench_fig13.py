@@ -1,0 +1,31 @@
+"""Fig. 13: Excess-class IPC vs #PCSHRs for increasing core counts.
+
+Since the off-package memory bounds performance beyond ~8 PCSHRs, more
+cores do not require proportionally more PCSHRs.
+"""
+
+from conftest import BENCH_BASE, emit
+
+from repro.harness.experiments import experiment_fig13
+from repro.harness.reporting import render_series, rows_to_series
+
+
+def test_fig13(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig13(
+            BENCH_BASE, core_counts=(2, 4, 8), pcshr_counts=(2, 4, 8, 16, 32),
+            workloads=("cact",),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig13", render_series(
+        rows_to_series(rows, "cores", "pcshrs", "ipc_rel_32"),
+        x_label="pcshrs",
+        title="Fig. 13: Excess-class IPC vs #PCSHRs (normalized to 32)",
+    ))
+    by = {(r["cores"], r["pcshrs"]): r["ipc_rel_32"] for r in rows}
+    for cores in (2, 4, 8):
+        # Monotone-ish rise to saturation...
+        assert by[(cores, 8)] > by[(cores, 2)] * 0.98
+        # ...and 8 PCSHRs already deliver near-max performance.
+        assert by[(cores, 8)] > 0.80, (cores, by[(cores, 8)])

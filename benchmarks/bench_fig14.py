@@ -1,0 +1,32 @@
+"""Fig. 14: steady (cact) vs bursty (libq) PCSHR contention.
+
+Bursty workloads suffer more PCSHR contention: their tag-management
+latency keeps improving up to 32 PCSHRs, while the steady high-RMHB
+workload saturates earlier.
+"""
+
+from conftest import BENCH_BASE, emit
+
+from repro.harness.experiments import experiment_fig14
+from repro.harness.reporting import format_table
+
+
+def test_fig14(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig14(
+            BENCH_BASE, pcshr_counts=(1, 2, 4, 8, 16, 32),
+            workloads=("cact", "libq"),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig14", format_table(
+        rows, title="Fig. 14: stall rate + tag mgmt latency vs #PCSHRs"
+    ))
+    by = {(r["workload"], r["pcshrs"]): r for r in rows}
+    # Few PCSHRs hurt both: latency falls as PCSHRs grow.
+    for wl in ("cact", "libq"):
+        assert by[(wl, 1)]["tag_latency"] > by[(wl, 32)]["tag_latency"], wl
+        assert by[(wl, 32)]["tag_latency"] >= 400
+    # Both see falling stall rates with more PCSHRs.
+    for wl in ("cact", "libq"):
+        assert by[(wl, 32)]["stall_ratio"] <= by[(wl, 1)]["stall_ratio"], wl

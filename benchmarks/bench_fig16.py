@@ -1,0 +1,26 @@
+"""Fig. 16: centralized vs distributed back-ends.
+
+FIFO frame allocation spreads page-copy commands uniformly across
+per-channel back-ends, so both designs perform alike.
+"""
+
+from conftest import BENCH_BASE, emit
+
+from repro.harness.experiments import experiment_fig16
+from repro.harness.reporting import format_table
+
+
+def test_fig16(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig16(BENCH_BASE, pcshr_counts=(4, 8, 16, 32),
+                                 workloads=("cact", "sssp")),
+        rounds=1, iterations=1,
+    )
+    emit("fig16", format_table(
+        rows, title="Fig. 16: centralized vs distributed back-ends"
+    ))
+    cen = {r["pcshrs"]: r for r in rows if r["topology"] == "centralized"}
+    dist = {r["pcshrs"]: r for r in rows if r["topology"] == "distributed"}
+    for n in (8, 16, 32):
+        ratio = dist[n]["ipc_rel_baseline"] / cen[n]["ipc_rel_baseline"]
+        assert 0.8 < ratio < 1.25, (n, ratio)

@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every benchmark uses the same scaled machine (4 cores, 64 MB DC) and
+trace length so the in-process result cache is shared across figures
+(Fig. 9, 10 and 11 reuse the same scheme x workload runs, exactly as the
+paper derives them from one simulation campaign).
+
+Results are printed (run with ``-s`` to see them) and written to
+``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.harness.runner import RunConfig
+
+# One standard campaign configuration for all figures.
+BENCH_OPS = 6000
+BENCH_BASE = RunConfig(
+    scheme="ideal",
+    workload="cact",
+    num_mem_ops=BENCH_OPS,
+    num_cores=4,
+    dc_megabytes=64,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist one figure's output."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def base():
+    return BENCH_BASE

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Graph analytics on a heterogeneous memory system.
+
+The paper's intro motivates DRAM caches with applications whose working
+sets dwarf on-package DRAM.  Graph workloads (GAPBS) are the canonical
+stress: bfs touches ~1 KB per page (bad for 4 KB caching granularity),
+sssp streams with almost no locality, and pr hammers a hot vertex set.
+
+This example runs the three GAPBS-like presets under TDC and NOMAD and
+shows where tag-data decoupling pays off -- and where a page-granular
+cache fundamentally struggles (bfs's sub-page locality, Section IV-B2).
+
+    python examples/graph_analytics.py
+"""
+
+from repro import build_machine
+from repro.harness.reporting import format_table
+from repro.workloads.presets import PRESETS
+
+GRAPH_WORKLOADS = ("bfs", "sssp", "pr")
+
+
+def main() -> None:
+    rows = []
+    for wl in GRAPH_WORKLOADS:
+        preset = PRESETS[wl]
+        baseline = build_machine("baseline", workload_name=wl, num_mem_ops=6000).run()
+        tdc = build_machine("tdc", workload_name=wl, num_mem_ops=6000).run()
+        nomad = build_machine("nomad", workload_name=wl, num_mem_ops=6000).run()
+        rows.append(
+            {
+                "workload": wl,
+                "class": preset.klass,
+                "locality_lines_per_page": preset.mean_run_lines,
+                "tdc_ipc_rel": tdc.speedup_over(baseline),
+                "nomad_ipc_rel": nomad.speedup_over(baseline),
+                "tdc_stall": tdc.os_stall_ratio,
+                "nomad_stall": nomad.os_stall_ratio,
+            }
+        )
+        print(f"ran {wl}")
+
+    print()
+    print(format_table(rows, title="Graph workloads: blocking vs non-blocking"))
+    print(
+        "\nReading the table: sssp (Excess-class, streaming) stalls the\n"
+        "blocking TDC hard; NOMAD's PCSHRs absorb the misses.  bfs's\n"
+        "sub-page (~1 KB) locality limits what any 4 KB-granular cache\n"
+        "can do, yet NOMAD still tolerates its DC tag misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: run NOMAD against every baseline on one workload.
+
+Builds the scaled 4-core machine, runs the cactusADM-like Excess-class
+workload under each DRAM cache scheme, and prints the comparison the
+paper's Fig. 9 makes: IPC relative to the DDR-only baseline, average DC
+access time, and the stall breakdown.
+
+    python examples/quickstart.py [workload] [mem_ops]
+"""
+
+import sys
+
+from repro import build_machine
+from repro.harness.reporting import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "cact"
+    num_ops = int(sys.argv[2]) if len(sys.argv) > 2 else 6000
+
+    print(f"workload={workload}, {num_ops} memory ops per core\n")
+    results = {}
+    for scheme in ("baseline", "tid", "tdc", "nomad", "ideal"):
+        machine = build_machine(scheme, workload_name=workload, num_mem_ops=num_ops)
+        results[scheme] = machine.run()
+        print(f"  ran {scheme}")
+
+    baseline = results["baseline"]
+    rows = []
+    for scheme, r in results.items():
+        rows.append(
+            {
+                "scheme": scheme,
+                "ipc": r.ipc,
+                "ipc_rel_baseline": r.speedup_over(baseline),
+                "dc_access_time": r.dc_access_time,
+                "os_stall": r.os_stall_ratio,
+                "ddr_gbps": r.ddr_bandwidth_gbps,
+                "hbm_gbps": r.hbm_bandwidth_gbps,
+            }
+        )
+    print()
+    print(format_table(rows, title=f"DRAM cache schemes on '{workload}'"))
+
+    nomad, tdc = results["nomad"], results["tdc"]
+    print()
+    print(
+        f"NOMAD vs TDC: {nomad.ipc / tdc.ipc - 1:+.1%} IPC, "
+        f"stalls {tdc.os_stall_ratio:.1%} -> {nomad.os_stall_ratio:.1%}, "
+        f"tag mgmt latency {nomad.tag_mgmt_latency:.0f} cycles, "
+        f"{nomad.buffer_hit_ratio:.0%} of data misses served from page copy buffers"
+    )
+
+
+if __name__ == "__main__":
+    main()

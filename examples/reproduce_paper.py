@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Regenerate every paper table and figure in one go.
+
+Runs the full experiment campaign (all 15 workloads, all schemes, all
+sensitivity sweeps) and writes each table/figure as text to
+``examples/output/``.  This is the long-form version of what the
+benchmark suite asserts; expect ~10-20 minutes at the default trace
+length.
+
+    python examples/reproduce_paper.py [mem_ops_per_core]
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.harness import (
+    experiment_fig02,
+    experiment_fig07,
+    experiment_fig09,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_fig14,
+    experiment_fig15,
+    experiment_fig16,
+    experiment_summary,
+    experiment_table1,
+)
+from repro.harness.reporting import format_table, render_series, rows_to_series
+from repro.harness.runner import RunConfig
+
+OUT = pathlib.Path(__file__).parent / "output"
+
+
+def main() -> None:
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    base = RunConfig(scheme="ideal", workload="cact", num_mem_ops=ops)
+    OUT.mkdir(exist_ok=True)
+
+    campaign = [
+        ("table1", lambda: format_table(
+            experiment_table1(base), title="Table I")),
+        ("fig02", lambda: format_table(
+            experiment_fig02(base), title="Fig. 2: TDC/TiD")),
+        ("fig07", lambda: format_table(
+            [dict(scheme=s, **c) for s, c in experiment_fig07(base).items()],
+            title="Fig. 7: effective access latency")),
+        ("fig09", lambda: format_table(
+            experiment_fig09(base), title="Fig. 9: IPC + DC access time")),
+        ("fig10", lambda: format_table(
+            experiment_fig10(base), title="Fig. 10: HBM bandwidth breakdown")),
+        ("fig11", lambda: format_table(
+            experiment_fig11(base), title="Fig. 11: stalls + tag latency")),
+        ("fig12", lambda: render_series(
+            rows_to_series(experiment_fig12(base), "class", "pcshrs",
+                           "ipc_rel_baseline"),
+            x_label="pcshrs", title="Fig. 12: IPC vs #PCSHRs")),
+        ("fig13", lambda: render_series(
+            rows_to_series(experiment_fig13(base), "cores", "pcshrs",
+                           "ipc_rel_32"),
+            x_label="pcshrs", title="Fig. 13: IPC vs #PCSHRs per core count")),
+        ("fig14", lambda: format_table(
+            experiment_fig14(base), title="Fig. 14: cact vs libq contention")),
+        ("fig15", lambda: format_table(
+            experiment_fig15(base), title="Fig. 15: area-optimized designs")),
+        ("fig16", lambda: format_table(
+            experiment_fig16(base), title="Fig. 16: centralized vs distributed")),
+        ("summary", lambda: format_table(
+            [{"metric": k, "value": v} for k, v in experiment_summary(base).items()],
+            title="Section IV-B5 summary")),
+    ]
+
+    for name, produce in campaign:
+        start = time.time()
+        text = produce()
+        (OUT / f"{name}.txt").write_text(text + "\n")
+        print(f"[{time.time() - start:6.1f}s] {name} -> examples/output/{name}.txt")
+        print(text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

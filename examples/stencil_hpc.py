@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""HPC stencil sweep: when does the DRAM cache pay for itself?
+
+Stencil codes (cactusADM, leslie3d, lbm) stream large grids with
+temporal reuse beyond the SRAM hierarchy's reach.  Whether an OS-managed
+DRAM cache helps depends on the ratio of *reused* accesses (served from
+on-package HBM once cached) to *fill* traffic (each page still crosses
+the off-package bus once).
+
+This example builds custom stencil-style workloads with increasing
+reuse and shows the crossover: below a reuse threshold the DDR-only
+baseline wins (the cache just adds copy traffic); above it, NOMAD's
+non-blocking fills convert the reuse into IPC.
+
+    python examples/stencil_hpc.py
+"""
+
+from repro import WorkloadSpec, build_machine, scaled_system
+from repro.harness.reporting import format_table
+
+
+def stencil(reuse_frac: float, num_ops: int = 5000) -> WorkloadSpec:
+    cfg = scaled_system()
+    share = cfg.dc_pages // cfg.num_cores
+    return WorkloadSpec(
+        name=f"stencil-r{int(reuse_frac * 100)}",
+        footprint_pages=int(2.5 * share),  # grid >> DC share
+        mem_ratio=0.35,
+        page_select="stream",
+        mean_run_lines=64,  # full-page sweeps
+        write_frac=0.2,
+        dep_frac=0.1,
+        reuse_frac=reuse_frac,
+        reuse_window=1024,
+        num_mem_ops=num_ops,
+    )
+
+
+def main() -> None:
+    rows = []
+    for reuse in (0.0, 0.3, 0.5, 0.7):
+        spec = stencil(reuse)
+        baseline = build_machine("baseline", spec=spec).run()
+        nomad = build_machine("nomad", spec=spec).run()
+        tdc = build_machine("tdc", spec=spec).run()
+        rows.append(
+            {
+                "reuse_frac": reuse,
+                "nomad_ipc_rel": nomad.speedup_over(baseline),
+                "tdc_ipc_rel": tdc.speedup_over(baseline),
+                "nomad_hbm_gbps": nomad.hbm_bandwidth_gbps,
+                "nomad_ddr_gbps": nomad.ddr_bandwidth_gbps,
+            }
+        )
+        print(f"ran reuse={reuse:.0%}")
+
+    print()
+    print(format_table(rows, title="Stencil reuse sweep: DRAM cache crossover"))
+    print(
+        "\nAt reuse=0 every byte crosses the off-package bus exactly once\n"
+        "whether cached or not, so the cache cannot win; as reuse grows,\n"
+        "re-accesses hit on-package HBM and NOMAD pulls ahead while the\n"
+        "blocking TDC stays pinned by its miss-handling stalls."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the environment has no `wheel` package, so pip's
+PEP 517 editable path (which builds a wheel) fails; this enables the
+classic `setup.py develop` editable install."""
+
+from setuptools import setup
+
+setup()

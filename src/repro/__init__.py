@@ -1,0 +1,63 @@
+"""repro -- a full-system reproduction of NOMAD (HPCA 2023).
+
+NOMAD is a non-blocking OS-managed DRAM cache enabled by tag-data
+decoupling: the OS front-end keeps DC tags in PTEs/TLBs (near-ideal
+access time) while back-end hardware (PCSHRs + page copy buffers)
+executes page copies without suspending application threads.
+
+Public API highlights
+---------------------
+* :func:`build_machine` -- assemble a machine for one (scheme, workload)
+* :class:`NomadScheme` and the baselines (``baseline``/``tid``/``tdc``/
+  ``ideal``)
+* :mod:`repro.workloads` -- the Table I synthetic workload presets
+* :mod:`repro.harness` -- experiment definitions for every paper figure
+
+Quickstart
+----------
+    from repro import build_machine
+    result = build_machine("nomad", workload_name="cact").run()
+    print(result.ipc, result.os_stall_ratio)
+"""
+
+from repro.config.schemes import BackendTopology, NomadConfig, TDCConfig, TiDConfig
+from repro.config.system import SystemConfig, paper_system, scaled_system
+from repro.core.nomad import IdealScheme, NomadScheme
+from repro.schemes.base import SchemeBase
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.ideal import UnthrottledScheme
+from repro.schemes.tdc import TDCScheme
+from repro.schemes.tid import TiDScheme
+from repro.system.builder import SCHEME_REGISTRY, build_machine, make_scheme
+from repro.system.machine import Machine, MachineResult
+from repro.workloads.presets import PRESETS, WORKLOAD_CLASSES, workload
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackendTopology",
+    "BaselineScheme",
+    "IdealScheme",
+    "Machine",
+    "MachineResult",
+    "NomadConfig",
+    "NomadScheme",
+    "PRESETS",
+    "SCHEME_REGISTRY",
+    "SchemeBase",
+    "SyntheticWorkload",
+    "SystemConfig",
+    "TDCConfig",
+    "TDCScheme",
+    "TiDConfig",
+    "TiDScheme",
+    "UnthrottledScheme",
+    "WORKLOAD_CLASSES",
+    "WorkloadSpec",
+    "build_machine",
+    "make_scheme",
+    "paper_system",
+    "scaled_system",
+    "workload",
+]

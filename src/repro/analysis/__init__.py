@@ -1,0 +1,6 @@
+"""Analytic models and derived-metric helpers."""
+
+from repro.analysis.classification import classify_rmhb, classify_results
+from repro.analysis.latency_model import LatencyCase, LatencyModel
+
+__all__ = ["LatencyCase", "LatencyModel", "classify_rmhb", "classify_results"]

@@ -1,0 +1,50 @@
+"""RMHB-based workload classification (Table I, Section II-C).
+
+The paper buckets workloads by how their required miss-handling
+bandwidth (measured under the ideal OS-managed configuration) compares
+with the available off-package memory bandwidth:
+
+* **excess** -- RMHB above the available bandwidth,
+* **tight**  -- consumes nearly all of it,
+* **loose**  -- needs about half,
+* **few**    -- negligible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.system.machine import MachineResult
+
+# Fractions of the off-package *peak* bandwidth separating the classes.
+# The paper's boundaries are against *attainable* bandwidth (~80% of
+# peak under mixed read/write traffic), which is why "tight" extends
+# slightly past 1.0x peak: its tight workloads (les at 26.5 GB/s) sit at
+# or just above the 25.6 GB/s theoretical peak.
+EXCESS_FRACTION = 1.25
+TIGHT_FRACTION = 0.80
+LOOSE_FRACTION = 0.25
+
+
+def classify_rmhb(rmhb_gbps: float, offpackage_peak_gbps: float) -> str:
+    """Class name for one workload's measured RMHB."""
+    if offpackage_peak_gbps <= 0:
+        raise ValueError("off-package peak bandwidth must be positive")
+    ratio = rmhb_gbps / offpackage_peak_gbps
+    if ratio > EXCESS_FRACTION:
+        return "excess"
+    if ratio > TIGHT_FRACTION:
+        return "tight"
+    if ratio > LOOSE_FRACTION:
+        return "loose"
+    return "few"
+
+
+def classify_results(
+    ideal_results: Dict[str, MachineResult], offpackage_peak_gbps: float
+) -> Dict[str, str]:
+    """Classify every workload from its ideal-configuration run."""
+    return {
+        name: classify_rmhb(res.rmhb_gbps, offpackage_peak_gbps)
+        for name, res in ideal_results.items()
+    }

@@ -1,0 +1,142 @@
+"""The effective DC access latency model of Fig. 7.
+
+Composes unloaded (queueing-free) latencies per scheme for the four
+(TLB, DC-tag) hit/miss combinations the paper analyzes:
+
+* HW-based (TiD): pays an on-package tag read on every access; hides
+  miss latency with MSHRs + critical-word-first.
+* Blocking OS-managed (TDC): ideal on hits; on misses the thread eats
+  tag management plus the *entire* page copy.
+* NOMAD: ideal on hits (plus a ~1-cycle PCSHR compare); on misses the
+  thread eats tag management only, and the demanded sub-block arrives
+  via critical-data-first into the page copy buffer.
+
+These are the bars of Fig. 7 (and the sanity anchor for the measured
+Fig. 9 DC access times, which add queueing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.schemes import NomadConfig, TiDConfig
+from repro.config.system import SystemConfig
+from repro.dram.timing import ResolvedTiming
+
+
+class LatencyCase(enum.Enum):
+    """(TLB, DC tag) outcome pairs."""
+
+    HIT_HIT = "hit_hit"
+    MISS_MISS = "miss_miss"
+    MISS_HIT = "miss_hit"
+    HIT_MISS = "hit_miss"
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Unloaded latency components, all in CPU cycles."""
+
+    sram_path: int  # L1+L2+L3 lookup on the way to the DC
+    hbm_access: int  # one on-package burst, row closed
+    ddr_access: int  # one off-package burst, row closed
+    walk: int  # page-table walk (TLB miss penalty)
+    tag_mgmt: int  # OS tag-miss handler critical path
+    page_copy: int  # full 4 KB page copy through one DDR channel
+    pcshr_lookup: int
+    copy_buffer: int
+
+    @classmethod
+    def from_config(
+        cls,
+        cfg: SystemConfig,
+        nomad_cfg: NomadConfig = NomadConfig(),
+    ) -> "LatencyModel":
+        hbm_t = ResolvedTiming.from_config(cfg.hbm, cfg.core.freq_ghz)
+        ddr_t = ResolvedTiming.from_config(cfg.ddr, cfg.core.freq_ghz)
+        sram = cfg.l1.latency + cfg.l2.latency + cfg.l3.latency
+        bursts = 4096 // 64
+        copy = (
+            ddr_t.row_closed_latency
+            + (bursts // cfg.ddr.num_channels - 1) * ddr_t.tburst
+            + hbm_t.row_closed_latency
+        )
+        return cls(
+            sram_path=sram,
+            hbm_access=hbm_t.row_closed_latency,
+            ddr_access=ddr_t.row_closed_latency,
+            walk=cfg.tlb.walk_latency,
+            tag_mgmt=nomad_cfg.tag_mgmt_latency,
+            page_copy=copy,
+            pcshr_lookup=nomad_cfg.pcshr_lookup_latency,
+            copy_buffer=nomad_cfg.copy_buffer_latency,
+        )
+
+    # -- per-scheme composition -------------------------------------------
+
+    def tid(self, case: LatencyCase) -> int:
+        tag_read = self.hbm_access
+        hit = self.sram_path + tag_read + self.hbm_access
+        # Non-blocking miss: critical 64 B block straight from DDR.
+        miss = self.sram_path + tag_read + self.ddr_access
+        return {
+            LatencyCase.HIT_HIT: hit,
+            LatencyCase.HIT_MISS: miss,
+            LatencyCase.MISS_HIT: self.walk + hit,
+            LatencyCase.MISS_MISS: self.walk + miss,
+        }[case]
+
+    def tdc(self, case: LatencyCase) -> int:
+        hit = self.sram_path + self.hbm_access
+        # Blocking miss: the thread waits for tag mgmt + the whole copy.
+        miss = self.walk + self.tag_mgmt + self.page_copy + self.sram_path + self.hbm_access
+        uncacheable = self.sram_path + self.ddr_access
+        return {
+            LatencyCase.HIT_HIT: hit,
+            LatencyCase.MISS_HIT: self.walk + hit,
+            LatencyCase.MISS_MISS: miss,
+            LatencyCase.HIT_MISS: uncacheable,
+        }[case]
+
+    def nomad(self, case: LatencyCase) -> int:
+        hit = self.sram_path + self.pcshr_lookup + self.hbm_access
+        # Non-blocking miss: tag mgmt, then the prioritized sub-block
+        # arrives in the page copy buffer (critical-data-first).
+        miss = (
+            self.walk
+            + self.tag_mgmt
+            + self.ddr_access
+            + self.pcshr_lookup
+            + self.copy_buffer
+            + self.sram_path
+        )
+        uncacheable = self.sram_path + self.ddr_access
+        return {
+            LatencyCase.HIT_HIT: hit,
+            LatencyCase.MISS_HIT: self.walk + hit,
+            LatencyCase.MISS_MISS: miss,
+            LatencyCase.HIT_MISS: uncacheable,
+        }[case]
+
+    def ideal(self, case: LatencyCase) -> int:
+        hit = self.sram_path + self.hbm_access
+        return {
+            LatencyCase.HIT_HIT: hit,
+            LatencyCase.MISS_HIT: self.walk + hit,
+            LatencyCase.MISS_MISS: self.walk + hit,
+            LatencyCase.HIT_MISS: self.sram_path + self.ddr_access,
+        }[case]
+
+    def table(self) -> Dict[str, Dict[str, int]]:
+        """All schemes x all cases, for the Fig. 7 bench."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name, fn in (
+            ("tid", self.tid),
+            ("tdc", self.tdc),
+            ("nomad", self.nomad),
+            ("ideal", self.ideal),
+        ):
+            out[name] = {case.value: fn(case) for case in LatencyCase}
+        return out

@@ -1,0 +1,119 @@
+"""FIFO fully-associative vs set-associative LRU DRAM caches.
+
+Section III-C2 justifies NOMAD's FIFO policy: "the fully-associative
+nature of the OS-managed design combined with the FIFO replacement
+policy exhibits about 23% less DC misses on average than a 16-way
+set-associative HW-based DRAM cache using an LRU policy."
+
+This module replays a page-reference stream against both organizations
+(pure cache models, no timing) so the claim can be checked per workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+
+
+class FullyAssociativeFIFO:
+    """The OS-managed organization: one FIFO over all frames."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_pages
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        if page in self._resident:
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._resident) >= self.capacity:
+            self._resident.popitem(last=False)
+        self._resident[page] = None
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class SetAssociativeLRU:
+    """The HW-based organization: N-way sets, LRU within each set."""
+
+    def __init__(self, capacity_pages: int, ways: int):
+        if capacity_pages <= 0 or ways <= 0:
+            raise ValueError("capacity and ways must be positive")
+        self.num_sets = max(1, capacity_pages // ways)
+        self.ways = ways
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        s = self._sets[page % self.num_sets]
+        if page in s:
+            s.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.ways:
+            s.popitem(last=False)
+        s[page] = None
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+@dataclass
+class ReplacementComparison:
+    workload: str
+    fifo_miss_rate: float
+    lru_miss_rate: float
+
+    @property
+    def miss_reduction(self) -> float:
+        """Fraction of set-assoc-LRU misses that FIFO-full-assoc avoids."""
+        if self.lru_miss_rate == 0:
+            return 0.0
+        return 1.0 - self.fifo_miss_rate / self.lru_miss_rate
+
+
+def page_stream(spec: WorkloadSpec, seed: int = 1, core_id: int = 0) -> Iterable[int]:
+    """Distinct-page reference stream of one trace (dedup within runs)."""
+    last = None
+    for _, addr, _, _ in SyntheticWorkload(spec, seed=seed, core_id=core_id):
+        page = addr >> 12
+        if page != last:
+            yield page
+            last = page
+
+
+def compare_replacement(
+    spec: WorkloadSpec, capacity_pages: int, ways: int = 16, seed: int = 1
+) -> ReplacementComparison:
+    """Replay one workload against both cache organizations."""
+    fifo = FullyAssociativeFIFO(capacity_pages)
+    lru = SetAssociativeLRU(capacity_pages, ways)
+    for page in page_stream(spec, seed=seed):
+        fifo.access(page)
+        lru.access(page)
+    return ReplacementComparison(spec.name, fifo.miss_rate, lru.miss_rate)
+
+
+def replacement_study(
+    specs: Iterable[WorkloadSpec], capacity_pages: int, ways: int = 16
+) -> List[ReplacementComparison]:
+    return [compare_replacement(s, capacity_pages, ways) for s in specs]

@@ -1,0 +1,98 @@
+"""Replacement policies for set-associative structures.
+
+Used by the SRAM caches (LRU), the TiD DRAM cache sets (LRU), and -- for
+the FIFO-vs-LRU ablation the paper motivates in Section III-C2 -- a FIFO
+policy usable anywhere an LRU one is.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class ReplacementPolicy:
+    """Tracks the victim-selection order of one set."""
+
+    def touch(self, key: Hashable) -> None:
+        """Record a reference to ``key``."""
+        raise NotImplementedError
+
+    def insert(self, key: Hashable) -> None:
+        """Record the allocation of ``key``."""
+        raise NotImplementedError
+
+    def evict(self) -> Hashable:
+        """Choose and remove the victim."""
+        raise NotImplementedError
+
+    def remove(self, key: Hashable) -> None:
+        """Explicitly remove ``key`` (invalidation)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used, via an ordered dict (front = LRU)."""
+
+    def __init__(self):
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def touch(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def insert(self, key: Hashable) -> None:
+        if key in self._order:
+            raise KeyError(f"{key!r} already tracked")
+        self._order[key] = None
+
+    def evict(self) -> Hashable:
+        if not self._order:
+            raise IndexError("evict from empty set")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def remove(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: references do not reorder the queue."""
+
+    def __init__(self):
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def touch(self, key: Hashable) -> None:
+        if key not in self._order:
+            raise KeyError(f"{key!r} not tracked")
+
+    def insert(self, key: Hashable) -> None:
+        if key in self._order:
+            raise KeyError(f"{key!r} already tracked")
+        self._order[key] = None
+
+    def evict(self) -> Hashable:
+        if not self._order:
+            raise IndexError("evict from empty set")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def remove(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Factory by name: ``"lru"`` or ``"fifo"``."""
+    if name == "lru":
+        return LRUPolicy()
+    if name == "fifo":
+        return FIFOPolicy()
+    raise ValueError(f"unknown replacement policy {name!r}")

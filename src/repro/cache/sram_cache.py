@@ -1,0 +1,115 @@
+"""A functional set-associative SRAM cache.
+
+State (contents, dirty bits) is updated at lookup time; timing is
+composed by the hierarchy from the per-level hit latencies of Table II.
+Lines are keyed by a caller-chosen hashable (the hierarchy uses
+``(core_id, virtual_line)``), and each line remembers the translated
+burst address it was filled from so dirty evictions can be routed to the
+right DRAM device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.cache.replacement import make_policy
+from repro.config.system import CacheConfig
+
+
+@dataclass
+class CacheLine:
+    key: Hashable
+    paddr: int  # translated byte address of the line at fill time
+    dirty: bool = False
+
+
+class SRAMCache:
+    """One cache level; sets are dicts, victim order by policy object."""
+
+    def __init__(self, cfg: CacheConfig, policy: str = "lru"):
+        self.cfg = cfg
+        self.num_sets = cfg.num_sets
+        if self.num_sets <= 0:
+            raise ValueError(f"{cfg.name}: zero sets (size too small for ways)")
+        self.ways = cfg.ways
+        self._sets: List[Dict[Hashable, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._policies = [make_policy(policy) for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, key: Hashable) -> int:
+        return hash(key) % self.num_sets
+
+    def lookup(self, key: Hashable, is_write: bool = False) -> bool:
+        """Probe for ``key``; updates recency and dirty state on hit."""
+        idx = self._set_index(key)
+        line = self._sets[idx].get(key)
+        if line is None:
+            self.misses += 1
+            return False
+        self._policies[idx].touch(key)
+        if is_write:
+            line.dirty = True
+        self.hits += 1
+        return True
+
+    def contains(self, key: Hashable) -> bool:
+        """Probe without updating recency or counters."""
+        return key in self._sets[self._set_index(key)]
+
+    def insert(
+        self, key: Hashable, paddr: int, dirty: bool = False
+    ) -> Optional[CacheLine]:
+        """Fill ``key``; returns the evicted victim line (if any)."""
+        idx = self._set_index(key)
+        cache_set = self._sets[idx]
+        if key in cache_set:
+            line = cache_set[key]
+            line.dirty = line.dirty or dirty
+            line.paddr = paddr
+            self._policies[idx].touch(key)
+            return None
+        victim: Optional[CacheLine] = None
+        if len(cache_set) >= self.ways:
+            victim_key = self._policies[idx].evict()
+            victim = cache_set.pop(victim_key)
+        cache_set[key] = CacheLine(key, paddr, dirty)
+        self._policies[idx].insert(key)
+        return victim
+
+    def invalidate(self, key: Hashable) -> Optional[CacheLine]:
+        """Remove ``key``; returns the line (caller handles dirty data)."""
+        idx = self._set_index(key)
+        line = self._sets[idx].pop(key, None)
+        if line is not None:
+            self._policies[idx].remove(key)
+        return line
+
+    def invalidate_matching(self, predicate) -> List[CacheLine]:
+        """Remove every line whose key satisfies ``predicate``.
+
+        Used by the DC eviction flush (Algorithm 2, line 3).  This is a
+        full scan and therefore only called on the page-eviction path.
+        """
+        removed: List[CacheLine] = []
+        for idx, cache_set in enumerate(self._sets):
+            doomed = [k for k in cache_set if predicate(k)]
+            for key in doomed:
+                removed.append(cache_set.pop(key))
+                self._policies[idx].remove(key)
+        return removed
+
+    def update_paddr(self, key: Hashable, paddr: int) -> None:
+        line = self._sets[self._set_index(key)].get(key)
+        if line is not None:
+            line.paddr = paddr
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+    python -m repro run --scheme nomad --workload cact
+    python -m repro compare --workload cact --ops 6000
+    python -m repro table1
+    python -m repro list
+
+Everything prints plain-text tables; the heavy experiment campaign lives
+in ``examples/reproduce_paper.py`` and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config.schemes import BackendTopology, NomadConfig
+from repro.harness.experiments import experiment_table1
+from repro.harness.reporting import format_table
+from repro.harness.runner import RunConfig, run_workload
+from repro.system.builder import SCHEME_REGISTRY
+from repro.workloads.presets import CLASS_OF, PRESETS
+
+
+def _result_row(res) -> dict:
+    return {
+        "scheme": res.scheme,
+        "workload": res.workload,
+        "ipc": res.ipc,
+        "dc_access_time": res.dc_access_time,
+        "os_stall": res.os_stall_ratio,
+        "ddr_gbps": res.ddr_bandwidth_gbps,
+        "hbm_gbps": res.hbm_bandwidth_gbps,
+    }
+
+
+def cmd_run(args) -> int:
+    nomad_cfg = None
+    if args.pcshrs is not None or args.distributed:
+        nomad_cfg = NomadConfig(
+            num_pcshrs=args.pcshrs or 16,
+            topology=(BackendTopology.DISTRIBUTED if args.distributed
+                      else BackendTopology.CENTRALIZED),
+        )
+    cfg = RunConfig(
+        scheme=args.scheme,
+        workload=args.workload,
+        num_mem_ops=args.ops,
+        num_cores=args.cores,
+        dc_megabytes=args.dc_mb,
+        seed=args.seed,
+        nomad_cfg=nomad_cfg,
+    )
+    res = run_workload(cfg)
+    print(format_table([_result_row(res)], title="run result"))
+    if res.tag_mgmt_latency is not None:
+        print(f"\ntag management latency: {res.tag_mgmt_latency:.0f} cycles")
+    if res.buffer_hit_ratio is not None:
+        print(f"page-copy-buffer hit ratio: {res.buffer_hit_ratio:.1%}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    baseline = None
+    for scheme in ("baseline", "tid", "tdc", "nomad", "ideal"):
+        res = run_workload(RunConfig(
+            scheme=scheme, workload=args.workload, num_mem_ops=args.ops,
+            num_cores=args.cores, dc_megabytes=args.dc_mb, seed=args.seed,
+        ))
+        if scheme == "baseline":
+            baseline = res
+        row = _result_row(res)
+        row["ipc_rel"] = res.speedup_over(baseline)
+        rows.append(row)
+    print(format_table(
+        rows,
+        columns=["scheme", "ipc", "ipc_rel", "dc_access_time", "os_stall",
+                 "ddr_gbps", "hbm_gbps"],
+        title=f"schemes on {args.workload!r} ({CLASS_OF[args.workload]} class)",
+    ))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    base = RunConfig(scheme="unthrottled", workload="cact",
+                     num_mem_ops=args.ops, num_cores=args.cores,
+                     dc_megabytes=args.dc_mb)
+    print(format_table(experiment_table1(base), title="Table I (measured)"))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        {
+            "workload": name,
+            "class": p.klass,
+            "footprint_ratio": p.footprint_ratio,
+            "page_select": p.page_select,
+            "bursty": p.bursty,
+        }
+        for name, p in PRESETS.items()
+    ]
+    print(format_table(rows, title="Table I workload presets"))
+    print("\nschemes:", ", ".join(sorted(SCHEME_REGISTRY)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NOMAD (HPCA'23) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--ops", type=int, default=6000,
+                       help="memory ops per core (default 6000)")
+        p.add_argument("--cores", type=int, default=4)
+        p.add_argument("--dc-mb", type=int, default=64,
+                       help="DRAM cache capacity in MB")
+        p.add_argument("--seed", type=int, default=1)
+
+    p_run = sub.add_parser("run", help="run one (scheme, workload)")
+    p_run.add_argument("--scheme", required=True, choices=sorted(SCHEME_REGISTRY))
+    p_run.add_argument("--workload", required=True, choices=sorted(PRESETS))
+    p_run.add_argument("--pcshrs", type=int, default=None)
+    p_run.add_argument("--distributed", action="store_true",
+                       help="distributed back-ends (NOMAD only)")
+    add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all schemes on one workload")
+    p_cmp.add_argument("--workload", required=True, choices=sorted(PRESETS))
+    add_common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table I")
+    add_common(p_t1)
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_ls = sub.add_parser("list", help="list workloads and schemes")
+    p_ls.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Fixed-width bit vectors used for PCSHR sub-block state (R/B/W vectors).
+
+Each NOMAD PCSHR traces page-copy progress at the sub-block granularity
+with three 64-bit vectors (Section III-D2 of the paper):
+
+* R (read-issued)  -- a read transfer has been issued for the sub-block,
+* B (in-buffer)    -- the sub-block's data sit in the page copy buffer,
+* W (partial-write)-- the sub-block has been written to its destination.
+
+``BitVector`` implements exactly the operations the back-end hardware
+needs: set/test single bits, population count, find-first-zero (used by
+the sequential fetch scheduler), and full/empty tests.
+"""
+
+from __future__ import annotations
+
+
+class BitVector:
+    """A fixed-width vector of bits backed by a Python int."""
+
+    __slots__ = ("width", "_bits", "_full_mask")
+
+    def __init__(self, width: int = 64, bits: int = 0):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+        self._full_mask = (1 << width) - 1
+        if bits & ~self._full_mask:
+            raise ValueError(f"initial bits 0x{bits:x} exceed width {width}")
+        self._bits = bits
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit index {index} out of range [0, {self.width})")
+
+    def set(self, index: int) -> None:
+        self._check(index)
+        self._bits |= 1 << index
+
+    def clear(self, index: int) -> None:
+        self._check(index)
+        self._bits &= ~(1 << index)
+
+    def test(self, index: int) -> bool:
+        self._check(index)
+        return bool(self._bits & (1 << index))
+
+    def __getitem__(self, index: int) -> bool:
+        return self.test(index)
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def set_all(self) -> None:
+        self._bits = self._full_mask
+
+    def clear_all(self) -> None:
+        self._bits = 0
+
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        return bin(self._bits).count("1")
+
+    @property
+    def all_set(self) -> bool:
+        return self._bits == self._full_mask
+
+    @property
+    def any_set(self) -> bool:
+        return self._bits != 0
+
+    def first_zero(self, start: int = 0) -> int:
+        """Index of the first clear bit at or after ``start``, or -1.
+
+        The NOMAD back-end fetches sub-blocks sequentially by default
+        (unless a prioritized sub-block index preempts), which is exactly a
+        find-first-zero scan of the R vector.
+        """
+        if start == self.width:
+            return -1
+        if start < 0 or start > self.width:
+            raise IndexError(f"start {start} out of range [0, {self.width}]")
+        inverted = ~self._bits & self._full_mask
+        inverted >>= start
+        if inverted == 0:
+            return -1
+        # Least significant set bit of the inverted vector.
+        return start + (inverted & -inverted).bit_length() - 1
+
+    def to_int(self) -> int:
+        return self._bits
+
+    def copy(self) -> "BitVector":
+        return BitVector(self.width, self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitVector):
+            return self.width == other.width and self._bits == other._bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._bits))
+
+    def __repr__(self) -> str:
+        return f"BitVector(width={self.width}, bits=0x{self._bits:x})"
+
+    def __iter__(self):
+        bits = self._bits
+        for _ in range(self.width):
+            yield bool(bits & 1)
+            bits >>= 1

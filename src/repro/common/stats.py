@@ -1,0 +1,212 @@
+"""Statistics primitives used throughout the simulator.
+
+Every component owns a :class:`StatGroup` so the harness can pull a flat
+dictionary of metrics after a run.  The types here cover everything the
+paper's evaluation reports: counters (miss counts), running means (tag
+management latency, DC access time), histograms (latency distributions),
+and bandwidth meters split by :class:`~repro.common.types.TrafficClass`
+(the Fig. 10 breakdown).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Optional
+
+from repro.common.types import TrafficClass
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class RunningMean:
+    """Streaming mean/min/max without storing samples."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if self.min is None or sample < self.min:
+            self.min = sample
+        if self.max is None or sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:
+        return f"RunningMean({self.name}: n={self.count}, mean={self.mean:.2f})"
+
+
+class Histogram:
+    """A bucketed histogram with power-of-two or linear buckets."""
+
+    def __init__(self, name: str, bucket_width: int = 0):
+        """``bucket_width`` of 0 selects power-of-two bucketing."""
+        self.name = name
+        self.bucket_width = bucket_width
+        self.buckets: Dict[int, int] = defaultdict(int)
+        self.count = 0
+        self.total = 0
+
+    def _bucket(self, sample: int) -> int:
+        if self.bucket_width:
+            return (sample // self.bucket_width) * self.bucket_width
+        if sample <= 0:
+            return 0
+        return 1 << (sample.bit_length() - 1)
+
+    def add(self, sample: int) -> None:
+        self.buckets[self._bucket(sample)] += 1
+        self.count += 1
+        self.total += sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def items(self):
+        return sorted(self.buckets.items())
+
+    def percentile(self, p: float) -> int:
+        """Approximate percentile (lower bucket bound); p in [0, 100]."""
+        if not self.count:
+            return 0
+        target = self.count * p / 100.0
+        seen = 0
+        last = 0
+        for bucket, n in self.items():
+            seen += n
+            last = bucket
+            if seen >= target:
+                return bucket
+        return last
+
+
+class BandwidthMeter:
+    """Bytes transferred per traffic class; converts to GB/s on demand."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.bytes_by_class: Dict[TrafficClass, int] = defaultdict(int)
+
+    def record(self, traffic_class: TrafficClass, num_bytes: int) -> None:
+        self.bytes_by_class[traffic_class] += num_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_class.values())
+
+    def gbps(self, elapsed_cycles: int, cycles_per_second: float) -> float:
+        """Aggregate bandwidth in GB/s over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        seconds = elapsed_cycles / cycles_per_second
+        return self.total_bytes / seconds / 1e9
+
+    def class_gbps(
+        self, traffic_class: TrafficClass, elapsed_cycles: int, cycles_per_second: float
+    ) -> float:
+        if elapsed_cycles <= 0:
+            return 0.0
+        seconds = elapsed_cycles / cycles_per_second
+        return self.bytes_by_class[traffic_class] / seconds / 1e9
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fraction of bytes per traffic class (sums to 1 when non-empty)."""
+        total = self.total_bytes
+        if not total:
+            return {}
+        return {tc.name: b / total for tc, b in self.bytes_by_class.items()}
+
+
+class StatGroup:
+    """A named collection of statistics owned by one component."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._stats: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def mean(self, name: str) -> RunningMean:
+        return self._get_or_create(name, RunningMean)
+
+    def histogram(self, name: str, bucket_width: int = 0) -> Histogram:
+        if name not in self._stats:
+            self._stats[name] = Histogram(name, bucket_width)
+        stat = self._stats[name]
+        if not isinstance(stat, Histogram):
+            raise TypeError(f"stat {name!r} already exists with type {type(stat)}")
+        return stat
+
+    def bandwidth(self, name: str) -> BandwidthMeter:
+        return self._get_or_create(name, BandwidthMeter)
+
+    def _get_or_create(self, name: str, cls):
+        if name not in self._stats:
+            self._stats[name] = cls(name)
+        stat = self._stats[name]
+        if not isinstance(stat, cls):
+            raise TypeError(f"stat {name!r} already exists with type {type(stat)}")
+        return stat
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def names(self) -> Iterable[str]:
+        return self._stats.keys()
+
+    def get(self, name: str):
+        return self._stats[name]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten to ``{stat_name: scalar}`` for reporting."""
+        out: Dict[str, object] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                out[name] = stat.value
+            elif isinstance(stat, RunningMean):
+                out[f"{name}.mean"] = stat.mean
+                out[f"{name}.count"] = stat.count
+                out[f"{name}.max"] = stat.max
+            elif isinstance(stat, Histogram):
+                out[f"{name}.mean"] = stat.mean
+                out[f"{name}.count"] = stat.count
+            elif isinstance(stat, BandwidthMeter):
+                out[f"{name}.total_bytes"] = stat.total_bytes
+                for tc, b in stat.bytes_by_class.items():
+                    out[f"{name}.{tc.name}"] = b
+        return out

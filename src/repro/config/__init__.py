@@ -1,0 +1,33 @@
+"""Configuration dataclasses for the simulated system (paper Table II)."""
+
+from repro.config.dram import DDR4_3200, DRAMTimingConfig, HBM2
+from repro.config.schemes import (
+    BackendTopology,
+    NomadConfig,
+    TDCConfig,
+    TiDConfig,
+)
+from repro.config.system import (
+    CacheConfig,
+    CoreConfig,
+    SystemConfig,
+    TLBConfig,
+    paper_system,
+    scaled_system,
+)
+
+__all__ = [
+    "BackendTopology",
+    "CacheConfig",
+    "CoreConfig",
+    "DDR4_3200",
+    "DRAMTimingConfig",
+    "HBM2",
+    "NomadConfig",
+    "SystemConfig",
+    "TDCConfig",
+    "TLBConfig",
+    "TiDConfig",
+    "paper_system",
+    "scaled_system",
+]

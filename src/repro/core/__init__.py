@@ -1,0 +1,32 @@
+"""NOMAD: the paper's contribution.
+
+* :mod:`repro.core.free_queue` -- circular FIFO cache-frame queue (Fig. 5)
+* :mod:`repro.core.frontend`   -- OS routines: DC tag miss handler
+  (Algorithm 1) and background eviction daemon (Algorithm 2)
+* :mod:`repro.core.pcshr`      -- page copy status/information holding
+  registers with R/B/W sub-block vectors and sub-entries (Fig. 6)
+* :mod:`repro.core.page_copy_buffer` -- the buffer pool (area-optimized
+  designs decouple buffer count from PCSHR count, Fig. 15)
+* :mod:`repro.core.backend`    -- the back-end hardware: interface
+  register, PCSHR file, copy execution, data-hit verification
+* :mod:`repro.core.nomad`      -- the assembled NOMAD scheme
+"""
+
+from repro.core.backend import Backend
+from repro.core.free_queue import FreeQueue
+from repro.core.frontend import FrontEnd
+from repro.core.nomad import IdealScheme, NomadScheme
+from repro.core.page_copy_buffer import PageCopyBufferPool
+from repro.core.pcshr import CommandType, PCSHR, SubEntry
+
+__all__ = [
+    "Backend",
+    "CommandType",
+    "FreeQueue",
+    "FrontEnd",
+    "IdealScheme",
+    "NomadScheme",
+    "PCSHR",
+    "PageCopyBufferPool",
+    "SubEntry",
+]

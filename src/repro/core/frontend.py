@@ -1,0 +1,372 @@
+"""NOMAD front-end OS routines (paper Section III-C).
+
+Two routines manage cache frames FIFO over a circular free queue:
+
+* the **DC tag miss handler** (Algorithm 1) runs when a page walk finds a
+  cacheable-but-uncached page: find a free frame from the head, offload a
+  cache-fill command to the data manager (the NOMAD back-end; a blocking
+  copy engine for TDC; a no-op for Ideal), update the CPD/PTE/PPD tags,
+  and resume the thread;
+* the **background eviction daemon** (Algorithm 2) reclaims frames from
+  the tail when free frames drop below a threshold: it skips TLB-resident
+  frames (shootdown avoidance via the CPD TLB directory), flushes the
+  victims' SRAM lines, offloads writebacks for dirty frames, and restores
+  PTEs through the reverse map.
+
+The whole frame-management path is a critical section (one mutex); the
+observed tag-management latency therefore grows with contention, which is
+the effect Figs. 11 and 14 quantify.  TDC is built from this same
+front-end with ``use_mutex=False`` (it locks only critical PTEs) and a
+blocking data manager.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.common.types import DC_SPACE_BIT, TrafficClass, sub_block_of
+from repro.config.system import SystemConfig
+from repro.core.free_queue import FreeQueue
+from repro.engine.simulator import Component, Simulator
+from repro.engine.sync import Mutex
+from repro.vm.descriptors import CPDArray
+from repro.vm.page_table import PTE
+
+# Cost of a forced TLB shootdown (inter-processor interrupts + waits);
+# only paid on the rare fallback path when proactive eviction cannot make
+# progress because every tail frame is TLB-resident.
+TLB_SHOOTDOWN_COST = 4000
+
+
+class DataManager:
+    """What the front-end offloads data movement to.
+
+    ``fill``/``writeback`` take two callbacks:
+
+    * ``on_offloaded()`` fires (at simulated time) when the command has
+      been *accepted* -- for NOMAD this is when a PCSHR was allocated
+      (the OS spins on the busy interface until then, still holding the
+      mutex);
+    * ``on_resume(t)`` fires when the application thread may continue --
+      immediately after acceptance for NOMAD (non-blocking), only after
+      the whole page copy for TDC (blocking).
+    """
+
+    def fill(self, cfn: int, pfn: int, sub_block: int,
+             on_offloaded: Callable[[], None],
+             on_resume: Callable[[int], None]) -> None:
+        raise NotImplementedError
+
+    def writeback(self, cfn: int, pfn: int,
+                  on_offloaded: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def frame_busy(self, cfn: int) -> bool:
+        """True while a fill for ``cfn`` is still in flight."""
+        return False
+
+
+class FrontEnd(Component):
+    """Cache-frame management: tag miss handler + eviction daemon."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: SystemConfig,
+        data_manager: DataManager,
+        page_tables,
+        tables,
+        hierarchy,
+        hbm,
+        *,
+        use_mutex: bool = True,
+        tag_mgmt_latency: int = 400,
+        eviction_threshold: int = 256,
+        eviction_batch: int = 64,
+        eviction_cost: int = 30,
+        flush_on_evict: bool = True,
+        assume_all_dirty: bool = False,
+    ):
+        super().__init__(sim, "frontend")
+        self.cfg = cfg
+        self.data_manager = data_manager
+        self.page_tables = page_tables
+        self.tables = tables
+        self.hierarchy = hierarchy
+        self.hbm = hbm
+        self.cpds = CPDArray(cfg.dc_pages)
+        self.free_queue = FreeQueue(cfg.dc_pages)
+        self.mutex: Optional[Mutex] = Mutex(sim, "frame_mgmt") if use_mutex else None
+        self.tag_mgmt_latency = tag_mgmt_latency
+        self.eviction_threshold = eviction_threshold
+        self.eviction_batch = eviction_batch
+        self.eviction_cost = eviction_cost
+        self.flush_on_evict = flush_on_evict
+        # Ablation of the dirty-in-cache (DC) bits: without them the OS
+        # cannot tell clean frames apart and must write back every victim.
+        self.assume_all_dirty = assume_all_dirty
+
+        self._daemon_running = False
+        self._frame_waiters: List[Callable[[], None]] = []
+        self._tlbs = None
+        self._evict_remaining = 0
+        self._batch_freed = 0
+
+        self._tag_latency = self.stats.mean("tag_mgmt_latency")
+        self._fills = self.stats.counter("fills")
+        self._evictions = self.stats.counter("evictions")
+        self._wb_cmds = self.stats.counter("writeback_commands")
+        self._tlb_skips = self.stats.counter("eviction_tlb_skips")
+        self._busy_skips = self.stats.counter("eviction_busy_skips")
+        self._shootdowns = self.stats.counter("forced_shootdowns")
+        self._flush_dirty = self.stats.counter("flushed_dirty_lines")
+
+    # ------------------------------------------------------------------
+    # DC tag miss handler (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def handle_tag_miss(
+        self,
+        core_id: int,
+        vpn: int,
+        pte: PTE,
+        addr: int,
+        done: Callable[[int], None],
+    ) -> None:
+        """Resolve a DC tag miss; ``done(resume_time)`` fires when the
+        application thread may continue."""
+        t0 = self.sim.now
+
+        def _with_mutex():
+            # Two serialized on-package reads + sync overhead (~400 cyc).
+            self.sim.schedule(self.tag_mgmt_latency, _find_frame)
+
+        def _find_frame():
+            if self.free_queue.num_free <= 0:
+                # Out of frames: drop the lock so the eviction daemon can
+                # run, then retry once it signals (condition-variable
+                # semantics; holding the mutex here would deadlock).
+                if self.mutex is not None:
+                    self.mutex.release()
+                self._frame_waiters.append(_reacquire)
+                self._trigger_daemon(force=True)
+                return
+            cfn = self.free_queue.allocate(self.cpds)
+            self.data_manager.fill(
+                cfn,
+                pte.page_frame_num,
+                sub_block_of(addr),
+                on_offloaded=lambda c=cfn: _offloaded(c),
+                on_resume=done,
+            )
+
+        def _reacquire():
+            if self.mutex is not None:
+                self.mutex.acquire(_find_frame)
+            else:
+                _find_frame()
+
+        def _offloaded(cfn: int) -> None:
+            self._commit_tags(core_id, vpn, pte, cfn)
+            self._tag_latency.add(self.sim.now - t0)
+            self._fills.inc()
+            if self.mutex is not None:
+                self.mutex.release()
+            self._trigger_daemon()
+
+        if self.mutex is not None:
+            self.mutex.acquire(_with_mutex)
+        else:
+            _with_mutex()
+
+    def _commit_tags(self, core_id: int, vpn: int, pte: PTE, cfn: int) -> None:
+        """Tag management: CPD, PPD, and every mapping PTE (shared pages)."""
+        pfn = pte.page_frame_num
+        cpd = self.cpds[cfn]
+        cpd.valid = True
+        cpd.pfn = pfn
+        cpd.dirty_in_cache = False
+        cpd.tlb_directory = 0
+        self.tables.ppd(pfn).cached = True
+        for map_core, map_vpn in self.tables.reverse_map(pfn):
+            mapped = self.page_tables[map_core].lookup(map_vpn)
+            if mapped is not None:
+                mapped.page_frame_num = cfn
+                mapped.cached = True
+
+    def warm_fill(self, core_id: int, vpn: int, pte: PTE,
+                  dirty: bool = False) -> None:
+        """Zero-cost fill for the warmup fast-forward: allocate a frame
+        and commit tags without traffic, timing, or statistics."""
+        if self.free_queue.num_free <= self.eviction_threshold:
+            self._warm_evict(self.eviction_batch)
+        if self.free_queue.num_free <= 0:
+            return
+        cfn = self.free_queue.allocate(self.cpds)
+        self._commit_tags(core_id, vpn, pte, cfn)
+        if dirty:
+            self.cpds[cfn].dirty_in_cache = True
+
+    def _warm_evict(self, n: int) -> None:
+        fq = self.free_queue
+        evicted = 0
+        scanned = 0
+        while evicted < n and fq.allocated > 0 and scanned < fq.num_frames:
+            cpd = self.cpds[fq.tail]
+            scanned += 1
+            if not cpd.valid:
+                fq.advance_tail()
+                continue
+            if cpd.in_any_tlb:
+                fq.advance_tail()
+                continue
+            fq.advance_tail()
+            self._restore_ptes(cpd)
+            cpd.valid = False
+            cpd.dirty_in_cache = False
+            fq.mark_freed()
+            evicted += 1
+
+    # ------------------------------------------------------------------
+    # Background eviction daemon (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _below_threshold(self) -> bool:
+        return self.free_queue.num_free < self.eviction_threshold
+
+    def _trigger_daemon(self, force: bool = False) -> None:
+        if self._daemon_running:
+            return
+        if not force and not self._below_threshold():
+            return
+        self._daemon_running = True
+        self.sim.schedule(0, self._daemon_start)
+
+    def _daemon_start(self) -> None:
+        if self.mutex is not None:
+            self.mutex.acquire(self._daemon_batch_begin)
+        else:
+            self._daemon_batch_begin()
+
+    def _daemon_batch_begin(self) -> None:
+        self._evict_remaining = self.eviction_batch
+        self._batch_freed = 0
+        self._daemon_step()
+
+    def _daemon_step(self) -> None:
+        fq = self.free_queue
+        while True:
+            if self._evict_remaining <= 0 or fq.allocated == 0:
+                self._daemon_finish()
+                return
+            cpd = self.cpds[fq.tail]
+            if not cpd.valid:
+                fq.advance_tail()
+                continue
+            if cpd.in_any_tlb or self.data_manager.frame_busy(cpd.cfn):
+                if cpd.in_any_tlb:
+                    self._tlb_skips.inc()
+                else:
+                    self._busy_skips.inc()
+                fq.advance_tail()
+                self._evict_remaining -= 1
+                continue
+            break
+        cfn = fq.advance_tail()
+        self._evict_remaining -= 1
+        self._evict_frame(cfn, self.eviction_cost, self._daemon_step)
+
+    def _evict_frame(self, cfn: int, cost: int, cont: Callable[[], None]) -> None:
+        """Reclaim one frame; ``cont`` resumes the daemon afterwards."""
+        cpd = self.cpds[cfn]
+        dirty = cpd.dirty_in_cache or self.assume_all_dirty
+        # Flush SRAM lines of every mapping (Algorithm 2, line 3); dirty
+        # lines must reach the DRAM cache before the page copies out.
+        if self.flush_on_evict:
+            for map_core, map_vpn in self.tables.reverse_map(cpd.pfn):
+                for line_addr in self.hierarchy.invalidate_page(map_core, map_vpn):
+                    self.hbm.access(
+                        line_addr & ~DC_SPACE_BIT, True, TrafficClass.WRITEBACK
+                    )
+                    self._flush_dirty.inc()
+                    dirty = True
+        else:
+            # Ideal mode: SRAM lines stay valid; just point them back at
+            # the physical frame so later dirty evictions route sanely.
+            for map_core, map_vpn in self.tables.reverse_map(cpd.pfn):
+                self.hierarchy.retarget_page(
+                    map_core, map_vpn, cpd.pfn * 4096
+                )
+        self._restore_ptes(cpd)
+        cpd.valid = False
+        cpd.dirty_in_cache = False
+        self.free_queue.mark_freed()
+        self._batch_freed += 1
+        self._evictions.inc()
+        if dirty:
+            self._wb_cmds.inc()
+            self.data_manager.writeback(
+                cfn, cpd.pfn, on_offloaded=lambda: self.sim.schedule(cost, cont)
+            )
+        else:
+            self.sim.schedule(cost, cont)
+
+    def _restore_ptes(self, cpd) -> None:
+        self.tables.ppd(cpd.pfn).cached = False
+        for map_core, map_vpn in self.tables.reverse_map(cpd.pfn):
+            mapped = self.page_tables[map_core].lookup(map_vpn)
+            if mapped is not None and mapped.cached and mapped.page_frame_num == cpd.cfn:
+                mapped.page_frame_num = cpd.pfn
+                mapped.cached = False
+                mapped.dirty_in_cache = False
+
+    def _daemon_finish(self) -> None:
+        if self._batch_freed == 0 and self._frame_waiters:
+            # Fallback: every reclaimable frame was TLB-resident.  Force a
+            # shootdown on one frame so allocation can make progress.
+            self._force_shootdown_evict()
+        if self.mutex is not None:
+            self.mutex.release()
+        self._daemon_running = False
+        waiters, self._frame_waiters = self._frame_waiters, []
+        for waiter in waiters:
+            self.sim.schedule(0, waiter)
+        if self._below_threshold() and self._batch_freed > 0:
+            self._trigger_daemon()
+
+    def _force_shootdown_evict(self) -> None:
+        fq = self.free_queue
+        scanned = 0
+        while scanned < fq.num_frames:
+            cpd = self.cpds[fq.tail]
+            scanned += 1
+            if cpd.valid and not self.data_manager.frame_busy(cpd.cfn):
+                for map_core, map_vpn in self.tables.reverse_map(cpd.pfn):
+                    self._shootdown(map_core, map_vpn)
+                self._shootdowns.inc()
+                cfn = fq.advance_tail()
+                self._evict_frame(cfn, TLB_SHOOTDOWN_COST, lambda: None)
+                return
+            fq.advance_tail()
+
+    def _shootdown(self, core_id: int, vpn: int) -> None:
+        """Invalidate one translation everywhere (the expensive path)."""
+        if self._tlbs is not None:
+            self._tlbs[core_id].invalidate(vpn)
+
+    def attach_tlbs(self, tlbs) -> None:
+        """Give the front-end shootdown access to the per-core TLBs."""
+        self._tlbs = tlbs
+
+    # ------------------------------------------------------------------
+    # TLB directory maintenance (called from the scheme's TLB hooks)
+    # ------------------------------------------------------------------
+
+    def tlb_changed(self, core_id: int, pte: PTE, installed: bool) -> None:
+        if not pte.cached:
+            return
+        cpd = self.cpds[pte.page_frame_num]
+        if installed:
+            cpd.set_tlb_bit(core_id)
+        else:
+            cpd.clear_tlb_bit(core_id)

@@ -1,0 +1,6 @@
+"""CPU models: trace format and the ROB-occupancy out-of-order core."""
+
+from repro.cpu.core import Core
+from repro.cpu.trace import TraceOp, ops_from_arrays
+
+__all__ = ["Core", "TraceOp", "ops_from_arrays"]

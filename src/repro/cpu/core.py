@@ -1,0 +1,319 @@
+"""A ROB-occupancy out-of-order core model.
+
+The model dispatches the trace in program order at ``width`` instructions
+per cycle and enforces three stall sources, which are exactly the ones
+the paper's evaluation decomposes:
+
+1. **ROB-window stalls** -- a load stays "in flight" until its data
+   return; a younger instruction more than ``rob_size`` instructions
+   ahead cannot dispatch until the load completes.  Independent misses
+   within the window overlap, which is the memory-level parallelism that
+   non-blocking DRAM caches (TiD, NOMAD) exploit and blocking ones (TDC)
+   forfeit.
+2. **Dependence stalls** -- trace ops flagged ``dependent`` stall
+   dispatch until their data arrive (serialized pointer chasing).
+3. **OS stalls** -- the DRAM cache scheme may suspend the thread (page
+   walks, DC tag miss handlers, TDC's blocking page copies).  These are
+   reported separately because Fig. 11's "application stall cycles" are
+   precisely the OS suspensions.
+
+The core runs *ahead* of the simulator clock while unblocked: SRAM hits
+resolve synchronously and only TLB misses and LLC misses synchronize
+with the event queue, which keeps the Python event count proportional to
+DRAM-level activity rather than instruction count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, Optional
+
+from repro.common.types import AccessType, MemAccess
+from repro.config.system import CoreConfig
+from repro.engine.simulator import Component, Simulator
+
+
+class Core(Component):
+    """One simulated core executing a single-threaded trace."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        cfg: CoreConfig,
+        scheme,
+        trace: Iterator,
+        on_finish: Optional[Callable[["Core"], None]] = None,
+    ):
+        super().__init__(sim, f"core{core_id}")
+        self.core_id = core_id
+        self.cfg = cfg
+        self.width = cfg.width
+        self.rob_size = cfg.rob_size
+        self.scheme = scheme
+        self.trace = iter(trace)
+        self.on_finish = on_finish
+
+        # Dispatch-clock state (may run ahead of sim.now).
+        self.dispatch_cycles = 0
+        self._slack = 0  # instructions dispatched in the current cycle
+        self.inst_count = 0
+        self.mem_ops = 0
+        self.loads = 0
+        self.stores = 0
+
+        # In-flight loads: [inst_index, completion_time_or_None] entries.
+        self.outstanding: deque = deque()
+        self._pending_op = None
+        self._d_candidate: Optional[int] = None
+        self._idx_candidate = 0
+        self._slack_next = 0
+        self._waiting = False  # blocked on a load completion
+        self._dep_wait = None  # entry of a dependent load being waited on
+        self._draining = False
+        self.done = False
+        self.finish_time: Optional[int] = None
+
+        # Store buffer: missed stores in flight; dispatch stalls when full.
+        self.store_buffer = cfg.store_buffer
+        self.outstanding_stores = 0
+        self._store_blocked = False
+
+        # Stall accounting (cycles).
+        self.window_stall_cycles = 0
+        self.store_stall_cycles = 0
+        self.dep_stall_cycles = 0
+        self.os_stall_cycles = 0
+        self.tlb_stall_cycles = 0
+        self.tlb_misses = 0
+        self.tag_miss_count = 0
+
+    # -- public API -------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.schedule(0, self._advance)
+
+    @property
+    def ipc(self) -> float:
+        if not self.finish_time:
+            return 0.0
+        return self.inst_count / self.finish_time
+
+    def stall_breakdown(self) -> dict:
+        total = self.finish_time or 1
+        return {
+            "os": self.os_stall_cycles / total,
+            "window": self.window_stall_cycles / total,
+            "store": self.store_stall_cycles / total,
+            "dep": self.dep_stall_cycles / total,
+            "tlb": self.tlb_stall_cycles / total,
+        }
+
+    # -- dispatch engine ----------------------------------------------------
+
+    def _advance(self) -> None:
+        """Dispatch trace ops until blocked or exhausted."""
+        if self.done or self._dep_wait is not None:
+            return
+        self._waiting = False
+        while True:
+            if self._pending_op is None:
+                item = next(self.trace, None)
+                if item is None:
+                    self._finish_dispatch()
+                    return
+                self._pending_op = item
+                gap = item[0]
+                total = self._slack + gap + 1
+                self._d_candidate = self.dispatch_cycles + total // self.width
+                self._slack_next = total % self.width
+                self._idx_candidate = self.inst_count + gap + 1
+
+            d = self._d_candidate
+            idx = self._idx_candidate
+
+            # ROB window: retire loads that are rob_size older than idx.
+            window_limit = idx - self.rob_size
+            blocked = False
+            while self.outstanding and self.outstanding[0][0] <= window_limit:
+                head = self.outstanding[0]
+                if head[1] is None:
+                    self._waiting = True
+                    blocked = True
+                    break
+                if head[1] > d:
+                    self.window_stall_cycles += head[1] - d
+                    d = head[1]
+                self.outstanding.popleft()
+            if blocked:
+                self._d_candidate = d
+                return
+
+            if self.outstanding_stores >= self.store_buffer:
+                self._d_candidate = d
+                self._store_blocked = True
+                self._waiting = True
+                return
+
+            _, addr, is_write, dependent = self._pending_op
+            vpn = addr >> 12
+            tlb_result = self.scheme.tlb_lookup(self.core_id, vpn)
+            if tlb_result is None:
+                self.tlb_misses += 1
+                pte, walk, needs_os = self.scheme.peek_translate(self.core_id, vpn)
+                if needs_os:
+                    # A DC tag miss: the OS suspends the thread, so we
+                    # must synchronize with simulated time first.
+                    self._d_candidate = d
+                    if d > self.sim.now:
+                        self.sim.schedule_at(d, self._tlb_miss_now)
+                    else:
+                        self._tlb_miss_now()
+                    return
+                # Plain walk: overlapped by the hardware walker; charge
+                # it as extra latency on this access only.
+                self.tlb_stall_cycles += walk
+                if not self._issue_and_handle_dep(
+                    pte, walk, d, addr, is_write, idx, dependent
+                ):
+                    return
+                continue
+
+            pte, extra_lat = tlb_result
+            if not self._issue_and_handle_dep(pte, extra_lat, d, addr, is_write, idx, dependent):
+                return
+
+    def _tlb_miss_now(self) -> None:
+        """Runs at sim.now == dispatch time of the TLB-missing op."""
+        if self.done:
+            return
+        d = self._d_candidate
+        _, addr, is_write, dependent = self._pending_op
+        vpn = addr >> 12
+        self.scheme.translate_miss(
+            self.core_id,
+            vpn,
+            d,
+            lambda ready, pte: self._translation_done(ready, pte),
+            addr=addr,
+        )
+
+    def _translation_done(self, ready: int, pte) -> None:
+        """The walk (and any OS miss handling) finished at ``ready``."""
+        d = self._d_candidate
+        walk = self.scheme.walk_latency
+        self.tlb_stall_cycles += min(ready - d, walk)
+        os_part = ready - d - walk
+        if os_part > 0:
+            self.os_stall_cycles += os_part
+            self.tag_miss_count += 1
+        _, addr, is_write, dependent = self._pending_op
+        idx = self._idx_candidate
+        # The OS suspension pushed the dispatch clock itself.
+        self._d_candidate = ready
+        if self._issue_and_handle_dep(pte, 0, ready, addr, is_write, idx, dependent):
+            self._advance()
+
+    def _issue_and_handle_dep(
+        self, pte, extra_lat, d, addr, is_write, idx, dependent
+    ) -> bool:
+        """Issue one op; returns False when dispatch must pause."""
+        finished = self._issue(pte, extra_lat, d, addr, is_write, idx)
+        if not dependent or is_write:
+            return True
+        if finished is None:
+            # outstanding[-1] is the entry just appended by _issue.
+            self._dep_wait = self.outstanding[-1]
+            return False
+        if finished > self.dispatch_cycles:
+            self.dep_stall_cycles += finished - self.dispatch_cycles
+            self.dispatch_cycles = finished
+        return True
+
+    def _issue(
+        self, pte, extra_lat: int, d: int, addr: int, is_write: bool, idx: int
+    ) -> Optional[int]:
+        """Send the access into the hierarchy; returns sync completion."""
+        access = MemAccess(
+            addr=addr,
+            access_type=AccessType.STORE if is_write else AccessType.LOAD,
+            core_id=self.core_id,
+            issue_time=d + extra_lat,
+        )
+        access.paddr = self.scheme.translate_addr(pte, addr)
+        self.mem_ops += 1
+        entry = None
+        if is_write:
+            self.stores += 1
+            callback: Callable[[int], None] = self._store_done
+        else:
+            self.loads += 1
+            entry = [idx, None]
+            self.outstanding.append(entry)
+            callback = self._make_load_done(entry)
+        completion = self.scheme.hierarchy_access(access, d + extra_lat, callback)
+        if is_write and completion is None:
+            self.outstanding_stores += 1
+        # Commit dispatch-state for this op.
+        self.dispatch_cycles = d
+        self.inst_count = idx
+        self._slack = self._slack_next
+        self._pending_op = None
+        self._d_candidate = None
+        if completion is not None and entry is not None:
+            entry[1] = completion
+        return completion
+
+    def _store_done(self, t: int) -> None:
+        """A missed store drained; unblock dispatch if the buffer was full."""
+        self.outstanding_stores -= 1
+        if self._store_blocked:
+            self._store_blocked = False
+            d = self._d_candidate
+            if d is not None and t > d:
+                self.store_stall_cycles += t - d
+                self._d_candidate = t
+            self._advance()
+        elif self._draining:
+            self._try_finish()
+
+    def _make_load_done(self, entry) -> Callable[[int], None]:
+        def _done(t: int) -> None:
+            entry[1] = t
+            if self._dep_wait is entry:
+                self._dep_wait = None
+                if t > self.dispatch_cycles:
+                    self.dep_stall_cycles += t - self.dispatch_cycles
+                    self.dispatch_cycles = t
+                self._advance()
+            elif self._waiting:
+                self._advance()
+            elif self._draining:
+                self._try_finish()
+
+        return _done
+
+    # -- completion -------------------------------------------------------
+
+    def _finish_dispatch(self) -> None:
+        self._draining = True
+        self._try_finish()
+
+    def _try_finish(self) -> None:
+        if self.done:
+            return
+        if any(entry[1] is None for entry in self.outstanding):
+            return
+        end = self.dispatch_cycles
+        for entry in self.outstanding:
+            if entry[1] > end:
+                end = entry[1]
+        self.outstanding.clear()
+        self.done = True
+        self.finish_time = max(end, self.sim.now)
+        if self.on_finish is not None:
+            self.on_finish(self)
+
+
+def _ignore(_t: int) -> None:
+    """Completion sink for stores (retired via the store buffer)."""

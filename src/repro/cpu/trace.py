@@ -1,0 +1,53 @@
+"""Instruction-trace format consumed by the core model.
+
+A trace is an iterable of ``(gap, addr, is_write, dependent)`` tuples:
+
+* ``gap`` -- the number of non-memory instructions preceding this memory
+  operation (they dispatch at the core's full width),
+* ``addr`` -- the virtual byte address accessed,
+* ``is_write`` -- store vs load,
+* ``dependent`` -- True when a consumer follows the load immediately, so
+  the core must stall until the data returns (models serialized
+  pointer-chasing; False allows the access to overlap within the ROB
+  window).
+
+Workload generators produce numpy chunks; :func:`ops_from_arrays`
+flattens them into the tuple stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+TraceTuple = Tuple[int, int, bool, bool]
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """A friendlier record form of one trace tuple (used in tests/examples)."""
+
+    gap: int
+    addr: int
+    is_write: bool = False
+    dependent: bool = False
+
+    def as_tuple(self) -> TraceTuple:
+        return (self.gap, self.addr, self.is_write, self.dependent)
+
+
+def ops_from_arrays(gaps, addrs, writes, deps) -> Iterator[TraceTuple]:
+    """Yield trace tuples from parallel numpy arrays (one chunk)."""
+    for i in range(len(gaps)):
+        yield (int(gaps[i]), int(addrs[i]), bool(writes[i]), bool(deps[i]))
+
+
+def chain_chunks(chunks: Iterable) -> Iterator[TraceTuple]:
+    """Flatten an iterable of ``(gaps, addrs, writes, deps)`` chunks."""
+    for gaps, addrs, writes, deps in chunks:
+        yield from ops_from_arrays(gaps, addrs, writes, deps)
+
+
+def total_instructions(trace: Iterable[TraceTuple]) -> int:
+    """Instruction count of a fully materialized trace (gap + 1 each)."""
+    return sum(gap + 1 for gap, _, _, _ in trace)

@@ -1,0 +1,52 @@
+"""Per-bank row-buffer state machine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Bank:
+    """One DRAM bank: an open row and the time it can accept a command.
+
+    ``access`` classifies the reference (hit / closed / conflict), applies
+    the activation/precharge penalty, and returns the cycle at which the
+    column data transfer may begin, leaving the row open (open-page
+    policy).
+    """
+
+    __slots__ = ("open_row", "ready_at", "activated_at")
+
+    def __init__(self):
+        self.open_row: Optional[int] = None
+        self.ready_at = 0
+        self.activated_at = 0
+
+    def access(self, row: int, now: int, timing) -> tuple:
+        """Returns ``(data_ready_time, outcome)``.
+
+        ``outcome`` is one of ``"hit"``, ``"closed"``, ``"conflict"``.
+        ``data_ready_time`` is when the burst can start on the data bus
+        (bank-side constraint only; the controller also arbitrates the
+        shared bus).
+        """
+        start = max(now, self.ready_at)
+        if self.open_row == row:
+            outcome = "hit"
+            column = start
+        elif self.open_row is None:
+            outcome = "closed"
+            column = start + timing.trcd  # activate at `start`
+            self.activated_at = start
+        else:
+            outcome = "conflict"
+            # Respect tRAS before precharging the currently open row.
+            precharge = max(start, self.activated_at + timing.tras)
+            activate = precharge + timing.trp
+            column = activate + timing.trcd
+            self.activated_at = activate
+        self.open_row = row
+        # Back-to-back column commands to an open row pipeline at the
+        # burst rate (tCCD ~= tburst); tCAS is pure latency.
+        self.ready_at = column + timing.tburst
+        data_ready = column + timing.tcas
+        return data_ready, outcome

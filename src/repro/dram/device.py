@@ -1,0 +1,116 @@
+"""A whole DRAM device: channels + address map + aggregate statistics."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.common.types import TrafficClass
+from repro.config.dram import DRAMTimingConfig
+from repro.dram.address_map import AddressMap
+from repro.dram.controller import ChannelController
+from repro.dram.timing import ResolvedTiming
+from repro.engine.simulator import Component, Simulator
+
+
+class DRAMDevice(Component):
+    """Multi-channel DRAM device (the HBM stack or the DDR4 DIMMs).
+
+    ``access`` issues a single 64 B burst; ``access_range`` issues one
+    burst per 64 B of a larger transfer (e.g., a 1 KB TiD line or a 4 KB
+    page), optionally reporting per-burst completions -- that per-burst
+    visibility is what lets the NOMAD back-end maintain its B vector and
+    service critical-data-first requests from the page copy buffer.
+    """
+
+    def __init__(self, sim: Simulator, name: str, cfg: DRAMTimingConfig, cpu_ghz: float):
+        super().__init__(sim, name)
+        self.cfg = cfg
+        self.timing = ResolvedTiming.from_config(cfg, cpu_ghz)
+        self.address_map = AddressMap(cfg)
+        self.channels: List[ChannelController] = [
+            ChannelController(sim, f"{name}.ch{i}", self.timing, cfg.banks_per_channel)
+            for i in range(cfg.num_channels)
+        ]
+        self._accesses = self.stats.counter("accesses")
+
+    def access(
+        self,
+        addr: int,
+        is_write: bool,
+        traffic_class: TrafficClass,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """One 64 B burst at ``addr``; returns completion time."""
+        decoded = self.address_map.decode(addr)
+        self._accesses.inc()
+        return self.channels[decoded.channel].enqueue(
+            decoded.bank, decoded.row, is_write, traffic_class, callback
+        )
+
+    def access_range(
+        self,
+        addr: int,
+        size: int,
+        is_write: bool,
+        traffic_class: TrafficClass,
+        per_burst: Optional[Callable[[int], None]] = None,
+        on_complete: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """Transfer ``size`` bytes starting at ``addr`` (64 B bursts).
+
+        ``per_burst(burst_index)`` is invoked *at* each burst's completion
+        (the simulator clock reads the completion time); ``on_complete(
+        last_completion_time)`` fires once everything has transferred.
+        Returns the last completion time (already known at issue since
+        service is computed on enqueue).
+        """
+        num_bursts = max(1, size // 64)
+        last_end = self.now
+        for i in range(num_bursts):
+            burst_addr = addr + i * 64
+            if per_burst is not None:
+                end = self.access(
+                    burst_addr,
+                    is_write,
+                    traffic_class,
+                    callback=_burst_notifier(per_burst, i),
+                )
+            else:
+                end = self.access(burst_addr, is_write, traffic_class)
+            if end > last_end:
+                last_end = end
+        if on_complete is not None:
+            self.sim.schedule_at(last_end, lambda t=last_end: on_complete(t))
+        return last_end
+
+    # -- aggregate statistics ------------------------------------------
+
+    @property
+    def row_hit_rate(self) -> float:
+        hits = sum(ch.stats.get("row_hits").value for ch in self.channels)
+        total = hits
+        total += sum(ch.stats.get("row_closed").value for ch in self.channels)
+        total += sum(ch.stats.get("row_conflicts").value for ch in self.channels)
+        return hits / total if total else 0.0
+
+    def bytes_by_class(self) -> dict:
+        out: dict = {}
+        for ch in self.channels:
+            for tc, b in ch.stats.get("bytes").bytes_by_class.items():
+                out[tc] = out.get(tc, 0) + b
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_class().values())
+
+    def bandwidth_gbps(self, elapsed_cycles: int, cycles_per_second: float) -> float:
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.total_bytes() / (elapsed_cycles / cycles_per_second) / 1e9
+
+
+def _burst_notifier(per_burst: Callable[[int], None], index: int):
+    def _notify():
+        per_burst(index)
+
+    return _notify

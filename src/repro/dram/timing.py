@@ -1,0 +1,41 @@
+"""Datasheet nanosecond timings resolved into CPU-cycle integers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.dram import DRAMTimingConfig
+
+
+@dataclass(frozen=True)
+class ResolvedTiming:
+    """All DRAM timings in CPU cycles for a given core frequency."""
+
+    trcd: int
+    trp: int
+    tcas: int
+    tburst: int
+    tras: int
+
+    @classmethod
+    def from_config(cls, cfg: DRAMTimingConfig, cpu_ghz: float) -> "ResolvedTiming":
+        return cls(
+            trcd=cfg.cycles(cfg.trcd_ns, cpu_ghz),
+            trp=cfg.cycles(cfg.trp_ns, cpu_ghz),
+            tcas=cfg.cycles(cfg.tcas_ns, cpu_ghz),
+            tburst=cfg.cycles(cfg.burst_ns, cpu_ghz),
+            tras=cfg.cycles(cfg.tras_ns, cpu_ghz),
+        )
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Column command to end of data for an open-row access."""
+        return self.tcas + self.tburst
+
+    @property
+    def row_closed_latency(self) -> int:
+        return self.trcd + self.tcas + self.tburst
+
+    @property
+    def row_conflict_latency(self) -> int:
+        return self.trp + self.trcd + self.tcas + self.tburst

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel."""
+
+from repro.engine.event_queue import Event, EventQueue
+from repro.engine.simulator import Component, Simulator
+
+__all__ = ["Component", "Event", "EventQueue", "Simulator"]

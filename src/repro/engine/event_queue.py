@@ -1,0 +1,63 @@
+"""A deterministic discrete-event queue.
+
+Events are ordered by (time, sequence number), so two events scheduled for
+the same cycle fire in scheduling order.  Determinism matters here: the
+paper's contention effects (mutex queueing in the NOMAD front-end, PCSHR
+allocation races) must be reproducible run-to-run for the experiment
+harness to produce stable tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Cancellation is a tombstone flag."""
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with stable same-cycle ordering."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, time: int, callback: Callable[[], None]) -> Event:
+        if time < 0:
+            raise ValueError(f"cannot schedule at negative time {time}")
+        event = Event(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next live event, skipping tombstones; None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def empty(self) -> bool:
+        return self.peek_time() is None

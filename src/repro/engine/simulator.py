@@ -1,0 +1,101 @@
+"""The simulator: global clock, event dispatch, component registry."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.common.stats import StatGroup
+from repro.engine.event_queue import Event, EventQueue
+
+
+class Simulator:
+    """Owns simulated time and the event queue.
+
+    Components call :meth:`schedule` with a *delay* relative to ``now``.
+    The run loop advances ``now`` to each event's timestamp; there is no
+    per-cycle ticking, so idle stretches cost nothing.
+    """
+
+    def __init__(self):
+        self.now = 0
+        self._queue = EventQueue()
+        self._components: List["Component"] = []
+        self._stopped = False
+
+    def register(self, component: "Component") -> None:
+        self._components.append(component)
+
+    @property
+    def components(self) -> List["Component"]:
+        return list(self._components)
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self._queue.push(self.now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute time >= now."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self._queue.push(time, callback)
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue; returns the number of events processed.
+
+        ``until`` bounds simulated time (events after it stay queued);
+        ``max_events`` bounds work, guarding against runaway feedback loops
+        in a buggy component.
+        """
+        processed = 0
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self._queue.pop()
+            if event is None:
+                break
+            self.now = event.time
+            event.callback()
+            processed += 1
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+
+class Component:
+    """Base class for simulated hardware/OS components.
+
+    Provides the owning simulator, a :class:`StatGroup`, and scheduling
+    sugar.  Subclasses register themselves so the harness can walk the
+    component tree when collecting statistics.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.stats = StatGroup(name)
+        sim.register(self)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        return self.sim.schedule(delay, callback)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

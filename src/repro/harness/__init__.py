@@ -1,0 +1,38 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from repro.harness.runner import RunConfig, run_workload, run_matrix
+from repro.harness.experiments import (
+    experiment_fig02,
+    experiment_fig07,
+    experiment_fig09,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_fig14,
+    experiment_fig15,
+    experiment_fig16,
+    experiment_summary,
+    experiment_table1,
+)
+from repro.harness.reporting import format_table, render_series
+
+__all__ = [
+    "RunConfig",
+    "experiment_fig02",
+    "experiment_fig07",
+    "experiment_fig09",
+    "experiment_fig10",
+    "experiment_fig11",
+    "experiment_fig12",
+    "experiment_fig13",
+    "experiment_fig14",
+    "experiment_fig15",
+    "experiment_fig16",
+    "experiment_summary",
+    "experiment_table1",
+    "format_table",
+    "render_series",
+    "run_matrix",
+    "run_workload",
+]

@@ -1,0 +1,398 @@
+"""One function per paper table/figure.
+
+Every function takes an optional base :class:`RunConfig` so callers
+(benchmarks, examples) can trade accuracy for time by shrinking traces,
+and returns plain dict/list structures that the reporting module renders
+and the benchmark suite asserts shape-claims against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.classification import classify_rmhb
+from repro.analysis.latency_model import LatencyModel
+from repro.config.schemes import BackendTopology, NomadConfig
+from repro.config.system import scaled_system
+from repro.harness.runner import RunConfig, run_matrix, run_workload
+from repro.workloads.presets import CLASS_OF, PRESETS, WORKLOAD_CLASSES, workloads_in_class
+
+ALL_WORKLOADS: List[str] = list(PRESETS)
+DC_SCHEMES: List[str] = ["tid", "tdc", "nomad", "ideal"]
+# Fig. 2's six high-LLC-MPMS benchmarks, ordered by descending RMHB.
+FIG2_WORKLOADS: List[str] = ["cact", "sssp", "bwav", "mcf", "bc", "pr"]
+
+
+def _base(base: Optional[RunConfig]) -> RunConfig:
+    return base if base is not None else RunConfig(scheme="ideal", workload="cact")
+
+
+def _offpackage_peak(base: RunConfig) -> float:
+    cfg = scaled_system(num_cores=base.num_cores, dc_megabytes=base.dc_megabytes)
+    return cfg.ddr.peak_gbps()
+
+
+# ---------------------------------------------------------------------------
+# Table I: workload characteristics under the ideal configuration
+# ---------------------------------------------------------------------------
+
+def experiment_table1(
+    base: Optional[RunConfig] = None, workloads: Optional[Sequence[str]] = None
+) -> List[dict]:
+    base = _base(base)
+    peak = _offpackage_peak(base)
+    rows = []
+    for name in (workloads or ALL_WORKLOADS):
+        res = run_workload(base.with_(scheme="unthrottled", workload=name))
+        rows.append(
+            {
+                "workload": name,
+                "paper_class": CLASS_OF[name],
+                "measured_class": classify_rmhb(res.rmhb_gbps, peak),
+                "rmhb_gbps": res.rmhb_gbps,
+                "llc_mpms": res.llc_mpms,
+                "footprint_mb": PRESETS[name].footprint_ratio
+                * base.dc_megabytes
+                / base.num_cores,
+            }
+        )
+    rows.sort(key=lambda r: -r["rmhb_gbps"])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2: TDC IPC relative to TiD for six high-MPMS benchmarks
+# ---------------------------------------------------------------------------
+
+def experiment_fig02(
+    base: Optional[RunConfig] = None, workloads: Optional[Sequence[str]] = None
+) -> List[dict]:
+    base = _base(base)
+    rows = []
+    for name in (workloads or FIG2_WORKLOADS):
+        tdc = run_workload(base.with_(scheme="tdc", workload=name))
+        tid = run_workload(base.with_(scheme="tid", workload=name))
+        ideal = run_workload(base.with_(scheme="unthrottled", workload=name))
+        rows.append(
+            {
+                "workload": name,
+                "paper_class": CLASS_OF[name],
+                "tdc_over_tid": tdc.ipc / tid.ipc if tid.ipc else 0.0,
+                "rmhb_gbps": ideal.rmhb_gbps,
+            }
+        )
+    rows.sort(key=lambda r: -r["rmhb_gbps"])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: analytic effective access latency
+# ---------------------------------------------------------------------------
+
+def experiment_fig07(base: Optional[RunConfig] = None) -> Dict[str, Dict[str, int]]:
+    base = _base(base)
+    cfg = scaled_system(num_cores=base.num_cores, dc_megabytes=base.dc_megabytes)
+    return LatencyModel.from_config(cfg).table()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: IPC relative to baseline + average DC access time
+# ---------------------------------------------------------------------------
+
+def experiment_fig09(
+    base: Optional[RunConfig] = None,
+    workloads: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> List[dict]:
+    base = _base(base)
+    workloads = list(workloads or ALL_WORKLOADS)
+    schemes = list(schemes or DC_SCHEMES)
+    results = run_matrix(["baseline"] + schemes, workloads, base)
+    rows = []
+    for wl in workloads:
+        baseline = results[("baseline", wl)]
+        row = {"workload": wl, "paper_class": CLASS_OF[wl]}
+        for scheme in schemes:
+            res = results[(scheme, wl)]
+            row[f"{scheme}_ipc_rel"] = res.speedup_over(baseline)
+            row[f"{scheme}_dc_access_time"] = res.dc_access_time
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: on-package bandwidth breakdown + row buffer hit rate
+# ---------------------------------------------------------------------------
+
+def experiment_fig10(
+    base: Optional[RunConfig] = None,
+    workloads: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> List[dict]:
+    base = _base(base)
+    workloads = list(workloads or ALL_WORKLOADS)
+    schemes = list(schemes or DC_SCHEMES)
+    rows = []
+    for wl in workloads:
+        for scheme in schemes:
+            res = run_workload(base.with_(scheme=scheme, workload=wl))
+            total = sum(res.hbm_bytes_by_class.values()) or 1
+            rows.append(
+                {
+                    "workload": wl,
+                    "scheme": scheme,
+                    "hbm_gbps": res.hbm_bandwidth_gbps,
+                    "demand_frac": res.hbm_bytes_by_class.get("DEMAND", 0) / total,
+                    "metadata_frac": res.hbm_bytes_by_class.get("METADATA", 0) / total,
+                    "fill_frac": res.hbm_bytes_by_class.get("FILL", 0) / total,
+                    "writeback_frac": res.hbm_bytes_by_class.get("WRITEBACK", 0) / total,
+                    "row_hit_rate": res.hbm_row_hit_rate,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11: stall-cycle ratios + tag management latency (TDC vs NOMAD)
+# ---------------------------------------------------------------------------
+
+def experiment_fig11(
+    base: Optional[RunConfig] = None, workloads: Optional[Sequence[str]] = None
+) -> List[dict]:
+    base = _base(base)
+    rows = []
+    for wl in (workloads or ALL_WORKLOADS):
+        tdc = run_workload(base.with_(scheme="tdc", workload=wl))
+        nomad = run_workload(base.with_(scheme="nomad", workload=wl))
+        rows.append(
+            {
+                "workload": wl,
+                "paper_class": CLASS_OF[wl],
+                "tdc_stall_ratio": tdc.os_stall_ratio,
+                "nomad_stall_ratio": nomad.os_stall_ratio,
+                "tdc_tag_latency": tdc.tag_mgmt_latency or 0.0,
+                "nomad_tag_latency": nomad.tag_mgmt_latency or 0.0,
+                "nomad_buffer_hit_ratio": nomad.buffer_hit_ratio or 0.0,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12: per-class IPC + off-package bandwidth vs #PCSHRs
+# ---------------------------------------------------------------------------
+
+def experiment_fig12(
+    base: Optional[RunConfig] = None,
+    pcshr_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    workloads_per_class: int = 1,
+) -> List[dict]:
+    base = _base(base)
+    rows = []
+    for klass in WORKLOAD_CLASSES:
+        names = workloads_in_class(klass)[:workloads_per_class]
+        for n in pcshr_counts:
+            rels, bws = [], []
+            for wl in names:
+                nomad_cfg = NomadConfig(num_pcshrs=n)
+                res = run_workload(
+                    base.with_(scheme="nomad", workload=wl, nomad_cfg=nomad_cfg)
+                )
+                baseline = run_workload(base.with_(scheme="baseline", workload=wl))
+                rels.append(res.speedup_over(baseline))
+                bws.append(res.ddr_bandwidth_gbps)
+            rows.append(
+                {
+                    "class": klass,
+                    "pcshrs": n,
+                    "ipc_rel_baseline": sum(rels) / len(rels),
+                    "ddr_gbps": sum(bws) / len(bws),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13: Excess-class IPC vs #PCSHRs for different core counts
+# ---------------------------------------------------------------------------
+
+def experiment_fig13(
+    base: Optional[RunConfig] = None,
+    core_counts: Sequence[int] = (2, 4, 8),
+    pcshr_counts: Sequence[int] = (2, 4, 8, 16, 32),
+    workloads: Sequence[str] = ("cact",),
+) -> List[dict]:
+    base = _base(base)
+    rows = []
+    for cores in core_counts:
+        ref = None
+        for n in sorted(pcshr_counts, reverse=True):
+            ipcs = []
+            for wl in workloads:
+                res = run_workload(
+                    base.with_(
+                        scheme="nomad",
+                        workload=wl,
+                        num_cores=cores,
+                        nomad_cfg=NomadConfig(num_pcshrs=n),
+                    )
+                )
+                ipcs.append(res.ipc)
+            mean_ipc = sum(ipcs) / len(ipcs)
+            if ref is None:
+                ref = mean_ipc  # the largest PCSHR count is the reference
+            rows.append(
+                {
+                    "cores": cores,
+                    "pcshrs": n,
+                    "ipc_rel_32": mean_ipc / ref if ref else 0.0,
+                }
+            )
+    rows.sort(key=lambda r: (r["cores"], r["pcshrs"]))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14: cact (steady) vs libq (bursty) PCSHR contention
+# ---------------------------------------------------------------------------
+
+def experiment_fig14(
+    base: Optional[RunConfig] = None,
+    pcshr_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    workloads: Sequence[str] = ("cact", "libq"),
+) -> List[dict]:
+    base = _base(base)
+    rows = []
+    for wl in workloads:
+        for n in pcshr_counts:
+            res = run_workload(
+                base.with_(
+                    scheme="nomad", workload=wl, nomad_cfg=NomadConfig(num_pcshrs=n)
+                )
+            )
+            rows.append(
+                {
+                    "workload": wl,
+                    "pcshrs": n,
+                    "stall_ratio": res.os_stall_ratio,
+                    "tag_latency": res.tag_mgmt_latency or 0.0,
+                    "ipc": res.ipc,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15: area-optimized (n PCSHRs, m page copy buffers)
+# ---------------------------------------------------------------------------
+
+def experiment_fig15(
+    base: Optional[RunConfig] = None,
+    combos: Sequence[Tuple[int, int]] = ((8, 8), (16, 8), (32, 8), (32, 16), (32, 32)),
+    workloads: Sequence[str] = ("libq", "gems"),
+) -> List[dict]:
+    base = _base(base)
+    rows = []
+    for wl in workloads:
+        baseline = run_workload(base.with_(scheme="baseline", workload=wl))
+        for n, m in combos:
+            res = run_workload(
+                base.with_(
+                    scheme="nomad",
+                    workload=wl,
+                    nomad_cfg=NomadConfig(num_pcshrs=n, num_copy_buffers=m),
+                )
+            )
+            rows.append(
+                {
+                    "workload": wl,
+                    "pcshrs": n,
+                    "buffers": m,
+                    "ipc_rel_baseline": res.speedup_over(baseline),
+                    "tag_latency": res.tag_mgmt_latency or 0.0,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16: centralized vs distributed back-ends
+# ---------------------------------------------------------------------------
+
+def experiment_fig16(
+    base: Optional[RunConfig] = None,
+    pcshr_counts: Sequence[int] = (4, 8, 16, 32),
+    workloads: Sequence[str] = ("cact", "sssp"),
+) -> List[dict]:
+    base = _base(base)
+    rows = []
+    for topology in (BackendTopology.CENTRALIZED, BackendTopology.DISTRIBUTED):
+        for n in pcshr_counts:
+            rels, lats = [], []
+            for wl in workloads:
+                baseline = run_workload(base.with_(scheme="baseline", workload=wl))
+                res = run_workload(
+                    base.with_(
+                        scheme="nomad",
+                        workload=wl,
+                        nomad_cfg=NomadConfig(num_pcshrs=n, topology=topology),
+                    )
+                )
+                rels.append(res.speedup_over(baseline))
+                lats.append(res.tag_mgmt_latency or 0.0)
+            rows.append(
+                {
+                    "topology": topology.value,
+                    "pcshrs": n,
+                    "ipc_rel_baseline": sum(rels) / len(rels),
+                    "tag_latency": sum(lats) / len(lats),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Section IV-B5 summary claims
+# ---------------------------------------------------------------------------
+
+def experiment_summary(
+    base: Optional[RunConfig] = None, workloads: Optional[Sequence[str]] = None
+) -> dict:
+    """NOMAD vs TDC/TiD aggregate gains + the buffer-hit claim."""
+    base = _base(base)
+    workloads = list(workloads or ALL_WORKLOADS)
+    results = run_matrix(["baseline", "tid", "tdc", "nomad"], workloads, base)
+    ipc_vs_tdc, ipc_vs_tid, stall_red, buffer_hits = [], [], [], []
+    for wl in workloads:
+        nomad = results[("nomad", wl)]
+        tdc = results[("tdc", wl)]
+        tid = results[("tid", wl)]
+        if tdc.ipc:
+            ipc_vs_tdc.append(nomad.ipc / tdc.ipc)
+        if tid.ipc:
+            ipc_vs_tid.append(nomad.ipc / tid.ipc)
+        if tdc.os_stall_ratio > 0:
+            stall_red.append(
+                1.0 - nomad.os_stall_ratio / tdc.os_stall_ratio
+            )
+        if nomad.buffer_hit_ratio is not None and nomad.buffer_hit_ratio > 0:
+            buffer_hits.append(nomad.buffer_hit_ratio)
+
+    def _gmean(xs: List[float]) -> float:
+        if not xs:
+            return 0.0
+        prod = 1.0
+        for x in xs:
+            prod *= max(x, 1e-12)
+        return prod ** (1.0 / len(xs))
+
+    return {
+        "ipc_gain_over_tdc": _gmean(ipc_vs_tdc) - 1.0,
+        "ipc_gain_over_tid": _gmean(ipc_vs_tid) - 1.0,
+        "stall_reduction_vs_tdc": sum(stall_red) / len(stall_red) if stall_red else 0.0,
+        "buffer_hit_ratio": sum(buffer_hits) / len(buffer_hits) if buffer_hits else 0.0,
+        "paper_ipc_gain_over_tdc": 0.167,
+        "paper_ipc_gain_over_tid": 0.255,
+        "paper_stall_reduction_vs_tdc": 0.761,
+        "paper_buffer_hit_ratio": 0.916,
+    }

@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints each table/figure the way the paper reports
+it: rows per workload, series per scheme/parameter.  Everything here is
+dependency-free string formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _fmt(value, width: int = 10, precision: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:>{width}.{precision}f}"
+    return f"{str(value):>{width}}"
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(c), max(len(_fmt(r.get(c, ""), 1, precision).strip()) for r in rows))
+        for c in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _fmt(row.get(c, ""), widths[c], precision).rjust(widths[c])
+                for c in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping],
+    x_label: str = "x",
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render ``{series_name: {x: y}}`` as one table with x as rows."""
+    xs = sorted({x for ys in series.values() for x in ys})
+    rows = []
+    for x in xs:
+        row = {x_label: x}
+        for name, ys in series.items():
+            row[name] = ys.get(x, "")
+        rows.append(row)
+    return format_table(rows, [x_label] + list(series), title, precision)
+
+
+def rows_to_series(
+    rows: Iterable[Mapping], key: str, x: str, y: str
+) -> Dict[str, Dict]:
+    """Group flat rows into ``{row[key]: {row[x]: row[y]}}``."""
+    out: Dict[str, Dict] = {}
+    for row in rows:
+        out.setdefault(str(row[key]), {})[row[x]] = row[y]
+    return out

@@ -1,0 +1,80 @@
+"""Run-one / run-many drivers with caching inside a process.
+
+Experiments share (scheme, workload) runs -- e.g., Fig. 9 and Fig. 11
+both need TDC and NOMAD on every workload -- so the runner memoizes
+results by their full parameter key within the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config.schemes import NomadConfig, TDCConfig, TiDConfig
+from repro.config.system import SystemConfig, scaled_system
+from repro.system.builder import build_machine
+from repro.system.machine import MachineResult
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything identifying one simulation run."""
+
+    scheme: str
+    workload: str
+    num_mem_ops: int = 10_000
+    num_cores: int = 4
+    dc_megabytes: int = 64
+    seed: int = 1
+    prewarm: bool = True
+    nomad_cfg: Optional[NomadConfig] = None
+    tdc_cfg: Optional[TDCConfig] = None
+    tid_cfg: Optional[TiDConfig] = None
+
+    def with_(self, **overrides) -> "RunConfig":
+        return replace(self, **overrides)
+
+
+_CACHE: Dict[RunConfig, MachineResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_workload(cfg: RunConfig) -> MachineResult:
+    """Run (or fetch the memoized result of) one configuration."""
+    cached = _CACHE.get(cfg)
+    if cached is not None:
+        return cached
+    system = scaled_system(num_cores=cfg.num_cores, dc_megabytes=cfg.dc_megabytes)
+    machine = build_machine(
+        cfg.scheme,
+        workload_name=cfg.workload,
+        cfg=system,
+        num_mem_ops=cfg.num_mem_ops,
+        seed=cfg.seed,
+        prewarm=cfg.prewarm,
+        nomad_cfg=cfg.nomad_cfg,
+        tdc_cfg=cfg.tdc_cfg,
+        tid_cfg=cfg.tid_cfg,
+    )
+    result = machine.run()
+    _CACHE[cfg] = result
+    return result
+
+
+def run_matrix(
+    schemes: Iterable[str],
+    workloads: Iterable[str],
+    base: Optional[RunConfig] = None,
+) -> Dict[Tuple[str, str], MachineResult]:
+    """Run a (scheme x workload) grid; keys are ``(scheme, workload)``."""
+    if base is None:
+        base = RunConfig(scheme="baseline", workload="cact")
+    out: Dict[Tuple[str, str], MachineResult] = {}
+    for wl in workloads:
+        for scheme in schemes:
+            cfg = base.with_(scheme=scheme, workload=wl)
+            out[(scheme, wl)] = run_workload(cfg)
+    return out

@@ -1,0 +1,24 @@
+"""DRAM cache schemes: the paper's baselines and upper/lower bounds.
+
+* ``BaselineScheme`` -- off-package DDR4 only (performance lower bound).
+* ``TiDScheme``      -- HW-based tags-in-DRAM (Unison-style) cache.
+* ``TDCScheme``      -- blocking OS-managed tagless DRAM cache.
+* ``IdealScheme``    -- zero-cost OS-managed cache (upper bound).
+
+NOMAD itself lives in :mod:`repro.core` (it is the paper's contribution).
+"""
+
+from repro.schemes.base import DC_SPACE_BIT, SchemeBase
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.ideal import UnthrottledScheme
+from repro.schemes.tdc import TDCScheme
+from repro.schemes.tid import TiDScheme
+
+__all__ = [
+    "BaselineScheme",
+    "DC_SPACE_BIT",
+    "SchemeBase",
+    "TDCScheme",
+    "TiDScheme",
+    "UnthrottledScheme",
+]

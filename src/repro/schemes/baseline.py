@@ -1,0 +1,30 @@
+"""The Baseline scheme: a conventional system with off-package DDR only.
+
+Serves as the performance lower bound in Fig. 9 -- every LLC miss pays
+the DDR4 latency, and the single off-package channel's bandwidth is the
+only bandwidth there is.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.types import MemAccess, TrafficClass
+from repro.schemes.base import SchemeBase
+
+
+class BaselineScheme(SchemeBase):
+    """No DRAM cache at all."""
+
+    scheme_name = "baseline"
+
+    def dc_access(self, access: MemAccess, fill_cb: Callable[[int], None]) -> None:
+        start = self.sim.now
+        paddr = access.paddr if access.paddr is not None else access.addr
+
+        def _done():
+            end = self.sim.now
+            self._record_dc_access(start, end)
+            fill_cb(end)
+
+        self.ddr.access(paddr, access.is_write, TrafficClass.DEMAND, callback=_done)

@@ -1,0 +1,174 @@
+"""TDC: the state-of-the-art *blocking* OS-managed DRAM cache.
+
+Implemented, as the paper does (Section IV-A), like the NOMAD front-end
+minus the non-blocking machinery: the DC tag miss handler performs the
+page copy itself and only resumes the application thread when the copy
+has fully landed in the DRAM cache.  There is no global frame-management
+mutex penalty (TDC locks only the critical PTEs), so its tag-management
+latency is the flat 400 cycles -- its weakness is the thousands of
+cycles of blocking copy, which scales with the workload's required
+miss-handling bandwidth (RMHB).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+from repro.common.types import DC_SPACE_BIT, MemAccess, PAGE_SIZE, TrafficClass
+from repro.config.schemes import TDCConfig
+from repro.config.system import SystemConfig
+from repro.core.frontend import DataManager, FrontEnd
+from repro.dram.device import DRAMDevice
+from repro.engine.simulator import Simulator
+from repro.schemes.base import SchemeBase, is_dc_addr
+
+
+class BlockingCopyManager(DataManager):
+    """Page copies executed synchronously by the OS on the faulting CPU."""
+
+    def __init__(self, sim: Simulator, hbm: DRAMDevice, ddr: DRAMDevice):
+        self.sim = sim
+        self.hbm = hbm
+        self.ddr = ddr
+        self._busy_fills: Set[int] = set()
+        self.fills = 0
+        self.writebacks = 0
+
+    def fill(self, cfn, pfn, sub_block, on_offloaded, on_resume) -> None:
+        """Copy the page in; the thread resumes only when it is done."""
+        self.fills += 1
+        self._busy_fills.add(cfn)
+        on_offloaded()
+        arrivals = [
+            self.ddr.access(pfn * PAGE_SIZE + i * 64, False, TrafficClass.FILL)
+            for i in range(PAGE_SIZE // 64)
+        ]
+
+        def _drain() -> None:
+            ends = [
+                self.hbm.access(cfn * PAGE_SIZE + i * 64, True, TrafficClass.FILL)
+                for i in range(PAGE_SIZE // 64)
+            ]
+            done = max(ends)
+            self.sim.schedule_at(done, lambda: self._fill_done(cfn, done, on_resume))
+
+        self.sim.schedule_at(max(arrivals), _drain)
+
+    def _fill_done(self, cfn: int, t: int, on_resume: Callable[[int], None]) -> None:
+        self._busy_fills.discard(cfn)
+        on_resume(t)
+
+    def writeback(self, cfn, pfn, on_offloaded) -> None:
+        """Copy-out runs on a kernel thread; the daemon does not wait."""
+        self.writebacks += 1
+        arrivals = [
+            self.hbm.access(cfn * PAGE_SIZE + i * 64, False, TrafficClass.WRITEBACK)
+            for i in range(PAGE_SIZE // 64)
+        ]
+
+        def _drain() -> None:
+            for i in range(PAGE_SIZE // 64):
+                self.ddr.access(pfn * PAGE_SIZE + i * 64, True, TrafficClass.WRITEBACK)
+
+        self.sim.schedule_at(max(arrivals), _drain)
+        on_offloaded()
+
+    def frame_busy(self, cfn: int) -> bool:
+        return cfn in self._busy_fills
+
+
+class TDCScheme(SchemeBase):
+    """Blocking OS-managed (tagless) DRAM cache."""
+
+    scheme_name = "tdc"
+
+    def __init__(
+        self, sim: Simulator, cfg: SystemConfig, tdc_cfg: TDCConfig = TDCConfig()
+    ):
+        super().__init__(sim, cfg)
+        self.tdc_cfg = tdc_cfg
+        self.data_manager = BlockingCopyManager(sim, self.hbm, self.ddr)
+        self.frontend = FrontEnd(
+            sim,
+            cfg,
+            self.data_manager,
+            self.page_tables,
+            self.tables,
+            self.hierarchy,
+            self.hbm,
+            use_mutex=False,
+            tag_mgmt_latency=tdc_cfg.tag_mgmt_latency,
+            eviction_threshold=tdc_cfg.eviction_threshold_frames,
+            eviction_batch=tdc_cfg.eviction_batch,
+            eviction_cost=tdc_cfg.eviction_cost_per_frame,
+            assume_all_dirty=not tdc_cfg.dirty_in_cache_bits,
+        )
+        self.frontend.attach_tlbs(self.tlbs)
+
+    def on_tlb_change(self, core_id, vpn, pte, installed) -> None:
+        self.frontend.tlb_changed(core_id, pte, installed)
+
+    def _needs_os_intervention(self, pte) -> bool:
+        return pte.is_tag_miss
+
+    def translate_miss(self, core_id, vpn, now, done, addr=0) -> None:
+        pte, walk = self.walkers[core_id].walk(vpn)
+        ready = now + walk
+
+        def _after_walk() -> None:
+            if pte.is_tag_miss:
+                self.frontend.handle_tag_miss(
+                    core_id, vpn, pte, addr, _install
+                )
+            else:
+                _install(self.sim.now)
+
+        def _install(t: int) -> None:
+            self.tlbs[core_id].install(vpn, pte)
+            done(t, pte)
+
+        self.sim.schedule_at(ready, _after_walk)
+
+    def dc_access(self, access: MemAccess, fill_cb: Callable[[int], None]) -> None:
+        """Tag hits guarantee data hits: the DC access goes straight in."""
+        start = self.sim.now
+        paddr = access.paddr if access.paddr is not None else access.addr
+        if is_dc_addr(paddr):
+            hbm_addr = paddr & ~DC_SPACE_BIT
+            if access.is_write:
+                self.frontend.cpds[hbm_addr >> 12].dirty_in_cache = True
+
+            def _done() -> None:
+                end = self.sim.now
+                self._record_dc_access(start, end)
+                fill_cb(end)
+
+            self.hbm.access(hbm_addr, access.is_write, TrafficClass.DEMAND, callback=_done)
+        else:
+            self.ddr.access(
+                paddr, access.is_write, TrafficClass.DEMAND,
+                callback=lambda: fill_cb(self.sim.now),
+            )
+
+    def dc_writeback(self, paddr: int) -> None:
+        if is_dc_addr(paddr):
+            hbm_addr = paddr & ~DC_SPACE_BIT
+            self.frontend.cpds[hbm_addr >> 12].dirty_in_cache = True
+            self.hbm.access(hbm_addr, True, TrafficClass.DEMAND)
+        else:
+            self.ddr.access(paddr, True, TrafficClass.DEMAND)
+
+    def _warm_cache_page(self, core_id, vpn, pte, dirty=False) -> None:
+        if pte.is_tag_miss:
+            self.frontend.warm_fill(core_id, vpn, pte, dirty=dirty)
+
+    # -- reporting --------------------------------------------------------
+
+    def tag_mgmt_latency_mean(self) -> float:
+        return self.frontend.stats.get("tag_mgmt_latency").mean
+
+    def page_fills(self) -> int:
+        return self.frontend.stats.get("fills").value
+
+    def page_writebacks(self) -> int:
+        return self.frontend.stats.get("writeback_commands").value

@@ -1,0 +1,6 @@
+"""System assembly: build and run a complete simulated machine."""
+
+from repro.system.builder import SCHEME_REGISTRY, build_machine
+from repro.system.machine import Machine, MachineResult
+
+__all__ = ["Machine", "MachineResult", "SCHEME_REGISTRY", "build_machine"]

@@ -1,0 +1,108 @@
+"""Factory that assembles a runnable machine for one (scheme, workload).
+
+This is the main entry point downstream users need:
+
+    from repro import build_machine
+    machine = build_machine("nomad", workload_name="cact")
+    result = machine.run()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.config.schemes import NomadConfig, TDCConfig, TiDConfig
+from repro.config.system import SystemConfig, scaled_system
+from repro.core.nomad import IdealScheme, NomadScheme
+from repro.engine.simulator import Simulator
+from repro.schemes.base import SchemeBase
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.ideal import UnthrottledScheme
+from repro.schemes.tdc import TDCScheme
+from repro.schemes.tid import TiDScheme
+from repro.system.machine import Machine
+from repro.workloads.presets import warm_plan, workload
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+
+SCHEME_REGISTRY: Dict[str, Type[SchemeBase]] = {
+    "baseline": BaselineScheme,
+    "tid": TiDScheme,
+    "tdc": TDCScheme,
+    "nomad": NomadScheme,
+    "ideal": IdealScheme,
+    "unthrottled": UnthrottledScheme,
+}
+
+
+def make_scheme(
+    name: str,
+    sim: Simulator,
+    cfg: SystemConfig,
+    nomad_cfg: Optional[NomadConfig] = None,
+    tdc_cfg: Optional[TDCConfig] = None,
+    tid_cfg: Optional[TiDConfig] = None,
+) -> SchemeBase:
+    cls = SCHEME_REGISTRY.get(name)
+    if cls is None:
+        raise KeyError(f"unknown scheme {name!r}; choose from {sorted(SCHEME_REGISTRY)}")
+    if name == "nomad":
+        return NomadScheme(sim, cfg, nomad_cfg or NomadConfig())
+    if name == "tdc":
+        return TDCScheme(sim, cfg, tdc_cfg or TDCConfig())
+    if name == "tid":
+        return TiDScheme(sim, cfg, tid_cfg or TiDConfig())
+    return cls(sim, cfg)
+
+
+def build_machine(
+    scheme: str,
+    workload_name: Optional[str] = None,
+    cfg: Optional[SystemConfig] = None,
+    spec: Optional[WorkloadSpec] = None,
+    specs: Optional[List[WorkloadSpec]] = None,
+    num_mem_ops: int = 50_000,
+    seed: int = 1,
+    prewarm: bool = True,
+    nomad_cfg: Optional[NomadConfig] = None,
+    tdc_cfg: Optional[TDCConfig] = None,
+    tid_cfg: Optional[TiDConfig] = None,
+) -> Machine:
+    """Build a ready-to-run machine.
+
+    Provide one of:
+
+    * ``workload_name`` -- a Table I preset; every core runs its own
+      instance (the paper's rate-mode setup);
+    * ``spec`` -- an explicit :class:`WorkloadSpec`, rate mode;
+    * ``specs`` -- one spec per core (heterogeneous multi-programmed
+      mix; each core keeps its private address space).
+
+    ``prewarm`` pre-populates the DRAM cache for reuse-heavy workloads,
+    mirroring the paper's fast-forward warmup.
+    """
+    if cfg is None:
+        cfg = scaled_system()
+    if specs is None:
+        if spec is None:
+            if workload_name is None:
+                raise ValueError("provide workload_name, spec, or specs")
+            spec = workload(
+                workload_name,
+                dc_pages=cfg.dc_pages,
+                num_cores=cfg.num_cores,
+                num_mem_ops=num_mem_ops,
+            )
+        specs = [spec] * cfg.num_cores
+    elif len(specs) != cfg.num_cores:
+        raise ValueError(f"need {cfg.num_cores} specs, got {len(specs)}")
+    sim = Simulator()
+    scheme_obj = make_scheme(scheme, sim, cfg, nomad_cfg, tdc_cfg, tid_cfg)
+    traces = [
+        SyntheticWorkload(s, seed=seed, core_id=i) for i, s in enumerate(specs)
+    ]
+    name = specs[0].name if len({s.name for s in specs}) == 1 else "mix"
+    machine = Machine(cfg, scheme_obj, traces, workload_name=name)
+    if prewarm and scheme != "baseline":
+        share = max(1, cfg.dc_pages // cfg.num_cores)
+        machine.prewarm_pages([warm_plan(s, share) for s in specs])
+    return machine

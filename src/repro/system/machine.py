@@ -1,0 +1,171 @@
+"""The simulated machine: cores + scheme + run loop.
+
+``Machine.run`` drives the event queue until every core has drained its
+trace, then snapshots a :class:`MachineResult` with the metrics the
+paper's figures report: IPC, stall-cycle breakdowns, DC access time,
+bandwidth by traffic class, row-buffer hit rates, tag-management
+latency, and the derived Table I characteristics (RMHB, LLC MPMS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.types import PAGE_SIZE, TrafficClass
+from repro.config.system import SystemConfig
+from repro.cpu.core import Core
+from repro.engine.simulator import Simulator
+
+
+@dataclass
+class MachineResult:
+    """Everything the experiment harness needs from one run."""
+
+    scheme: str
+    workload: str
+    runtime_cycles: int
+    instructions: int
+    ipc: float
+    per_core_ipc: List[float]
+    stall_breakdown: Dict[str, float]
+    os_stall_ratio: float
+    dc_access_time: float
+    llc_misses: int
+    llc_mpms: float
+    page_fills: int
+    page_writebacks: int
+    rmhb_gbps: float
+    hbm_bytes_by_class: Dict[str, int]
+    ddr_bytes_by_class: Dict[str, int]
+    hbm_bandwidth_gbps: float
+    ddr_bandwidth_gbps: float
+    hbm_row_hit_rate: float
+    ddr_row_hit_rate: float
+    dc_access_p95: int = 0
+    tag_mgmt_latency: Optional[float] = None
+    buffer_hit_ratio: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, other: "MachineResult") -> float:
+        """IPC relative to another run of the same workload."""
+        if other.ipc <= 0:
+            return 0.0
+        return self.ipc / other.ipc
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable flat view (for the CLI and log files)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+class Machine:
+    """One configured simulation: scheme + per-core traces."""
+
+    def __init__(self, cfg: SystemConfig, scheme, traces, workload_name: str = ""):
+        if len(traces) != cfg.num_cores:
+            raise ValueError(
+                f"need {cfg.num_cores} traces, got {len(traces)}"
+            )
+        self.cfg = cfg
+        self.scheme = scheme
+        self.sim: Simulator = scheme.sim
+        self.workload_name = workload_name
+        self._finished = 0
+        self.cores = [
+            Core(self.sim, i, cfg.core, scheme, trace, on_finish=self._core_done)
+            for i, trace in enumerate(traces)
+        ]
+
+    def _core_done(self, _core: Core) -> None:
+        self._finished += 1
+
+    # -- warmup ------------------------------------------------------------
+
+    def prewarm_pages(self, core_pages: List[list]) -> None:
+        """Functionally pre-cache pages per core (the paper's fast-forward).
+
+        Entries are bare VPNs or ``(vpn, dirty)`` pairs.  Cores are
+        interleaved so the FIFO frame queue ends up age-mixed across
+        cores, as it would be in steady state.
+        """
+        longest = max((len(p) for p in core_pages), default=0)
+        for i in range(longest):
+            for core_id, pages in enumerate(core_pages):
+                if i >= len(pages):
+                    continue
+                entry = pages[i]
+                if isinstance(entry, tuple):
+                    vpn, dirty = entry
+                else:
+                    vpn, dirty = entry, False
+                self.scheme.warm_page(core_id, vpn, dirty=dirty)
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> MachineResult:
+        for core in self.cores:
+            core.start()
+        self.sim.run(max_events=max_events)
+        if self._finished != len(self.cores):
+            raise RuntimeError(
+                f"simulation stalled: {self._finished}/{len(self.cores)} cores "
+                f"finished, {self.sim.pending_events} events pending"
+            )
+        return self.result()
+
+    def result(self) -> MachineResult:
+        cfg = self.cfg
+        runtime = max(core.finish_time or 0 for core in self.cores)
+        runtime = max(runtime, 1)
+        instructions = sum(core.inst_count for core in self.cores)
+        cps = cfg.cycles_per_second
+        seconds = runtime / cps
+
+        # Aggregate stall breakdown averaged over cores.
+        breakdown: Dict[str, float] = {}
+        for core in self.cores:
+            for k, v in core.stall_breakdown().items():
+                breakdown[k] = breakdown.get(k, 0.0) + v / len(self.cores)
+
+        scheme = self.scheme
+        llc_misses = scheme.llc_misses()
+        fills = scheme.page_fills()
+        writebacks = scheme.page_writebacks()
+
+        hbm_bytes = {tc.name: b for tc, b in scheme.hbm.bytes_by_class().items()}
+        ddr_bytes = {tc.name: b for tc, b in scheme.ddr.bytes_by_class().items()}
+
+        tag_latency = None
+        if hasattr(scheme, "tag_mgmt_latency_mean"):
+            tag_latency = scheme.tag_mgmt_latency_mean()
+        buffer_ratio = None
+        if hasattr(scheme, "buffer_hit_ratio"):
+            buffer_ratio = scheme.buffer_hit_ratio()
+
+        return MachineResult(
+            scheme=scheme.scheme_name,
+            workload=self.workload_name,
+            runtime_cycles=runtime,
+            instructions=instructions,
+            ipc=instructions / runtime,
+            per_core_ipc=[core.ipc for core in self.cores],
+            stall_breakdown=breakdown,
+            os_stall_ratio=breakdown["os"],
+            dc_access_time=scheme.dc_access_time_mean(),
+            dc_access_p95=scheme.dc_access_time_percentile(95),
+            llc_misses=llc_misses,
+            llc_mpms=llc_misses / (seconds * 1e6),
+            page_fills=fills,
+            page_writebacks=writebacks,
+            rmhb_gbps=scheme.fill_bytes() / seconds / 1e9,
+            hbm_bytes_by_class=hbm_bytes,
+            ddr_bytes_by_class=ddr_bytes,
+            hbm_bandwidth_gbps=scheme.hbm.bandwidth_gbps(runtime, cps),
+            ddr_bandwidth_gbps=scheme.ddr.bandwidth_gbps(runtime, cps),
+            hbm_row_hit_rate=scheme.hbm.row_hit_rate,
+            ddr_row_hit_rate=scheme.ddr.row_hit_rate,
+            tag_mgmt_latency=tag_latency,
+            buffer_hit_ratio=buffer_ratio,
+        )

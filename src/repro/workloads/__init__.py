@@ -1,0 +1,28 @@
+"""Synthetic workload generators standing in for SPEC2006 / GAPBS traces.
+
+The paper characterizes its 15 benchmarks entirely by required
+miss-handling bandwidth (RMHB), LLC misses per microsecond (MPMS), and
+memory footprint (Table I).  Each preset here is a synthetic trace
+generator tuned so that the *class structure and ordering* of those
+metrics match the paper's; absolute GB/s depend on the authors' testbed
+and are not targeted (see DESIGN.md, substitutions).
+"""
+
+from repro.workloads.presets import (
+    CLASS_OF,
+    PRESETS,
+    WORKLOAD_CLASSES,
+    workload,
+    workloads_in_class,
+)
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+
+__all__ = [
+    "CLASS_OF",
+    "PRESETS",
+    "SyntheticWorkload",
+    "WORKLOAD_CLASSES",
+    "WorkloadSpec",
+    "workload",
+    "workloads_in_class",
+]

@@ -1,0 +1,87 @@
+"""Trace persistence: save/load memory traces as ``.npz`` archives.
+
+Synthetic traces are deterministic per (spec, seed, core), but archived
+traces make experiments portable across library versions and allow
+replaying externally captured address streams (e.g., converted Pin or
+DynamoRIO traces) through the simulator.
+
+Format: one compressed npz with four parallel int64/bool arrays per
+core: ``gaps_<i>``, ``addrs_<i>``, ``writes_<i>``, ``deps_<i>``, plus a
+``meta`` array holding ``[num_cores]``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+TraceTuple = Tuple[int, int, bool, bool]
+
+
+def materialize(trace: Iterable[TraceTuple]):
+    """Collect a trace iterator into numpy columns."""
+    gaps, addrs, writes, deps = [], [], [], []
+    for g, a, w, d in trace:
+        gaps.append(g)
+        addrs.append(a)
+        writes.append(w)
+        deps.append(d)
+    return (
+        np.asarray(gaps, dtype=np.int64),
+        np.asarray(addrs, dtype=np.int64),
+        np.asarray(writes, dtype=bool),
+        np.asarray(deps, dtype=bool),
+    )
+
+
+def save_traces(path, traces: Sequence[Iterable[TraceTuple]]) -> None:
+    """Write one trace per core to ``path`` (.npz)."""
+    arrays = {"meta": np.asarray([len(traces)], dtype=np.int64)}
+    for i, trace in enumerate(traces):
+        gaps, addrs, writes, deps = materialize(trace)
+        arrays[f"gaps_{i}"] = gaps
+        arrays[f"addrs_{i}"] = addrs
+        arrays[f"writes_{i}"] = writes
+        arrays[f"deps_{i}"] = deps
+    np.savez_compressed(pathlib.Path(path), **arrays)
+
+
+class ArchivedTrace:
+    """A re-iterable trace backed by arrays from an archive."""
+
+    def __init__(self, gaps, addrs, writes, deps):
+        if not (len(gaps) == len(addrs) == len(writes) == len(deps)):
+            raise ValueError("trace columns must have equal length")
+        self.gaps = gaps
+        self.addrs = addrs
+        self.writes = writes
+        self.deps = deps
+
+    def __iter__(self):
+        for i in range(len(self.gaps)):
+            yield (
+                int(self.gaps[i]),
+                int(self.addrs[i]),
+                bool(self.writes[i]),
+                bool(self.deps[i]),
+            )
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+
+def load_traces(path) -> List[ArchivedTrace]:
+    """Load the per-core traces stored by :func:`save_traces`."""
+    with np.load(pathlib.Path(path)) as data:
+        num_cores = int(data["meta"][0])
+        return [
+            ArchivedTrace(
+                data[f"gaps_{i}"],
+                data[f"addrs_{i}"],
+                data[f"writes_{i}"],
+                data[f"deps_{i}"],
+            )
+            for i in range(num_cores)
+        ]

@@ -1,0 +1,37 @@
+"""RMHB classification."""
+
+import pytest
+
+from repro.analysis.classification import classify_rmhb, classify_results
+
+
+def test_class_boundaries():
+    peak = 25.6
+    assert classify_rmhb(40.0, peak) == "excess"
+    assert classify_rmhb(25.0, peak) == "tight"
+    assert classify_rmhb(12.0, peak) == "loose"
+    assert classify_rmhb(1.0, peak) == "few"
+
+
+def test_monotone_in_rmhb():
+    peak = 25.6
+    order = ["few", "loose", "tight", "excess"]
+    last = -1
+    for rmhb in (0.1, 8, 22, 50):
+        idx = order.index(classify_rmhb(rmhb, peak))
+        assert idx > last
+        last = idx
+
+
+def test_zero_peak_rejected():
+    with pytest.raises(ValueError):
+        classify_rmhb(1.0, 0)
+
+
+def test_classify_results():
+    class R:
+        def __init__(self, rmhb):
+            self.rmhb_gbps = rmhb
+
+    out = classify_results({"a": R(50), "b": R(1)}, 25.6)
+    assert out == {"a": "excess", "b": "few"}

@@ -1,0 +1,48 @@
+"""Fig. 7 analytic latency model."""
+
+import pytest
+
+from repro.analysis.latency_model import LatencyCase, LatencyModel
+from repro.config.system import scaled_system
+
+M = LatencyModel.from_config(scaled_system())
+
+
+def test_hit_hit_ordering():
+    """Fig. 7a: OS-managed schemes are near-ideal; TiD pays the tag read."""
+    assert M.ideal(LatencyCase.HIT_HIT) <= M.nomad(LatencyCase.HIT_HIT)
+    assert M.nomad(LatencyCase.HIT_HIT) <= M.ideal(LatencyCase.HIT_HIT) + 2
+    assert M.tid(LatencyCase.HIT_HIT) > M.tdc(LatencyCase.HIT_HIT)
+
+
+def test_miss_miss_ordering():
+    """Fig. 7b: blocking TDC pays the whole copy; NOMAD and TiD hide it."""
+    assert M.tdc(LatencyCase.MISS_MISS) > M.nomad(LatencyCase.MISS_MISS)
+    assert M.tdc(LatencyCase.MISS_MISS) > M.tid(LatencyCase.MISS_MISS)
+    assert M.nomad(LatencyCase.MISS_MISS) < M.tdc(LatencyCase.MISS_MISS) / 2
+
+
+def test_miss_hit_adds_walk():
+    for fn in (M.tid, M.tdc, M.nomad, M.ideal):
+        assert fn(LatencyCase.MISS_HIT) == fn(LatencyCase.HIT_HIT) + M.walk
+
+
+def test_hit_miss_is_uncacheable_for_os_schemes():
+    assert M.tdc(LatencyCase.HIT_MISS) == M.sram_path + M.ddr_access
+    assert M.nomad(LatencyCase.HIT_MISS) == M.sram_path + M.ddr_access
+
+
+def test_tid_hit_miss_avoids_walk():
+    assert M.tid(LatencyCase.MISS_MISS) - M.tid(LatencyCase.HIT_MISS) == M.walk
+
+
+def test_page_copy_dominates_tdc_miss():
+    assert M.page_copy > 5 * M.ddr_access
+
+
+def test_table_covers_everything():
+    t = M.table()
+    assert set(t) == {"tid", "tdc", "nomad", "ideal"}
+    for scheme in t.values():
+        assert set(scheme) == {c.value for c in LatencyCase}
+        assert all(v > 0 for v in scheme.values())

@@ -1,0 +1,88 @@
+"""FIFO fully-associative vs set-associative LRU (Section III-C2)."""
+
+import pytest
+
+from repro.analysis.replacement_study import (
+    FullyAssociativeFIFO,
+    ReplacementComparison,
+    SetAssociativeLRU,
+    compare_replacement,
+    page_stream,
+    replacement_study,
+)
+from repro.workloads.presets import workload
+
+
+def test_fifo_hits_resident_pages():
+    c = FullyAssociativeFIFO(2)
+    assert not c.access(1)
+    assert c.access(1)
+    assert c.miss_rate == 0.5
+
+
+def test_fifo_evicts_oldest():
+    c = FullyAssociativeFIFO(2)
+    c.access(1)
+    c.access(2)
+    c.access(3)  # evicts 1
+    assert not c.access(1)
+    assert c.access(3)
+
+
+def test_lru_set_conflicts():
+    """Pages mapping to one set conflict even with free space elsewhere."""
+    c = SetAssociativeLRU(capacity_pages=8, ways=2)  # 4 sets
+    s = c.num_sets
+    c.access(0)
+    c.access(s)
+    c.access(2 * s)  # third page in set 0: evicts LRU (page 0)
+    assert not c.access(0)
+
+
+def test_full_associativity_avoids_conflicts():
+    fifo = FullyAssociativeFIFO(8)
+    lru = SetAssociativeLRU(8, ways=2)
+    s = lru.num_sets
+    pattern = [0, s, 2 * s] * 20  # pathological set conflict
+    for p in pattern:
+        fifo.access(p)
+        lru.access(p)
+    assert fifo.miss_rate < lru.miss_rate
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        FullyAssociativeFIFO(0)
+    with pytest.raises(ValueError):
+        SetAssociativeLRU(0, 4)
+
+
+def test_page_stream_dedups_runs():
+    spec = workload("cact", num_mem_ops=500)
+    pages = list(page_stream(spec))
+    assert all(a != b for a, b in zip(pages, pages[1:]))
+
+
+def test_compare_replacement_on_preset():
+    spec = workload("tc", dc_pages=2048, num_cores=4, num_mem_ops=4000)
+    cmp = compare_replacement(spec, capacity_pages=512, ways=16)
+    assert 0 <= cmp.fifo_miss_rate <= 1
+    assert 0 <= cmp.lru_miss_rate <= 1
+    assert isinstance(cmp.miss_reduction, float)
+
+
+def test_fifo_competitive_on_presets():
+    """On the synthetic presets (whose page IDs spread evenly over sets)
+    FIFO-full-assoc at least matches set-assoc LRU; the paper's ~23%
+    advantage comes from the skewed set pressure of real address
+    streams, demonstrated by the pathological-conflict test above."""
+    specs = [workload(n, dc_pages=2048, num_cores=4, num_mem_ops=6000)
+             for n in ("tc", "pr", "sop")]
+    results = replacement_study(specs, capacity_pages=512, ways=16)
+    mean_reduction = sum(r.miss_reduction for r in results) / len(results)
+    assert mean_reduction > -0.05
+
+
+def test_zero_lru_misses_edge():
+    cmp = ReplacementComparison("x", 0.0, 0.0)
+    assert cmp.miss_reduction == 0.0

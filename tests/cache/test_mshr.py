@@ -1,0 +1,82 @@
+"""MSHR file: merge, capacity, overflow queueing."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        MSHRFile(0)
+
+
+def test_new_miss_allocates():
+    m = MSHRFile(4)
+    assert m.allocate("line1", 0, lambda t: None) == "new"
+    assert m.outstanding() == 1
+
+
+def test_second_miss_merges():
+    m = MSHRFile(4)
+    m.allocate("x", 0, lambda t: None)
+    assert m.allocate("x", 1, lambda t: None) == "merged"
+    assert m.merges == 1
+    assert m.outstanding() == 1
+
+
+def test_retire_returns_all_waiters():
+    m = MSHRFile(4)
+    seen = []
+    m.allocate("x", 0, lambda t: seen.append(("a", t)))
+    m.allocate("x", 1, lambda t: seen.append(("b", t)))
+    for w in m.retire("x", 10):
+        w(10)
+    assert seen == [("a", 10), ("b", 10)]
+
+
+def test_full_file_queues():
+    m = MSHRFile(2)
+    m.allocate("a", 0, lambda t: None)
+    m.allocate("b", 0, lambda t: None)
+    assert m.allocate("c", 0, lambda t: None) == "queued"
+    assert m.full
+    assert m.overflow_events == 1
+
+
+def test_drain_overflow_promotes():
+    m = MSHRFile(1)
+    m.allocate("a", 0, lambda t: None)
+    m.allocate("b", 0, lambda t: None)
+    m.retire("a", 5)
+    promoted = m.drain_overflow(5)
+    assert promoted == ["b"]
+    assert m.lookup("b") is not None
+
+
+def test_drain_overflow_merges_duplicates():
+    m = MSHRFile(1)
+    m.allocate("a", 0, lambda t: None)
+    m.allocate("b", 0, lambda t: None)
+    m.allocate("b", 0, lambda t: None)
+    m.retire("a", 5)
+    promoted = m.drain_overflow(5)
+    assert promoted == ["b"]
+    assert len(m.lookup("b").waiters) == 2
+
+
+def test_drain_overflow_respects_capacity():
+    m = MSHRFile(1)
+    m.allocate("a", 0, lambda t: None)
+    for key in ("b", "c"):
+        m.allocate(key, 0, lambda t: None)
+    m.retire("a", 5)
+    promoted = m.drain_overflow(5)
+    assert promoted == ["b"]  # only one slot freed
+    promoted2 = m.drain_overflow(6)
+    assert promoted2 == []  # "c" still waiting; file full again
+
+
+def test_retire_unknown_raises():
+    m = MSHRFile(2)
+    with pytest.raises(KeyError):
+        m.retire("nope", 0)

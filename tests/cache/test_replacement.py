@@ -1,0 +1,75 @@
+"""LRU and FIFO replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import FIFOPolicy, LRUPolicy, make_policy
+
+
+def test_lru_evicts_least_recent():
+    p = LRUPolicy()
+    for k in "abc":
+        p.insert(k)
+    p.touch("a")
+    assert p.evict() == "b"
+
+
+def test_lru_insert_duplicate_raises():
+    p = LRUPolicy()
+    p.insert("a")
+    with pytest.raises(KeyError):
+        p.insert("a")
+
+
+def test_lru_remove():
+    p = LRUPolicy()
+    p.insert("a")
+    p.insert("b")
+    p.remove("a")
+    assert p.evict() == "b"
+    assert len(p) == 0
+
+
+def test_lru_evict_empty_raises():
+    with pytest.raises(IndexError):
+        LRUPolicy().evict()
+
+
+def test_fifo_ignores_touches():
+    p = FIFOPolicy()
+    for k in "abc":
+        p.insert(k)
+    p.touch("a")  # must NOT move "a" back
+    assert p.evict() == "a"
+
+
+def test_fifo_touch_unknown_raises():
+    p = FIFOPolicy()
+    with pytest.raises(KeyError):
+        p.touch("missing")
+
+
+def test_fifo_order_is_insertion_order():
+    p = FIFOPolicy()
+    for k in range(5):
+        p.insert(k)
+    assert [p.evict() for _ in range(5)] == list(range(5))
+
+
+def test_make_policy():
+    assert isinstance(make_policy("lru"), LRUPolicy)
+    assert isinstance(make_policy("fifo"), FIFOPolicy)
+    with pytest.raises(ValueError):
+        make_policy("random")
+
+
+def test_fifo_vs_lru_divergence():
+    """The paper's Section III-C2 point: FIFO and LRU choose different
+    victims under reuse."""
+    lru, fifo = LRUPolicy(), FIFOPolicy()
+    for p in (lru, fifo):
+        for k in "abcd":
+            p.insert(k)
+    lru.touch("a")
+    fifo.touch("a")
+    assert lru.evict() == "b"
+    assert fifo.evict() == "a"

@@ -1,0 +1,134 @@
+"""BitVector: the R/B/W sub-block vectors of a PCSHR."""
+
+import pytest
+
+from repro.common.bitvector import BitVector
+
+
+def test_starts_empty():
+    bv = BitVector(64)
+    assert not bv.any_set
+    assert bv.count() == 0
+
+
+def test_set_and_test():
+    bv = BitVector(64)
+    bv.set(0)
+    bv.set(63)
+    assert bv.test(0) and bv.test(63)
+    assert not bv.test(1)
+    assert bv.count() == 2
+
+
+def test_clear():
+    bv = BitVector(8)
+    bv.set(3)
+    bv.clear(3)
+    assert not bv.test(3)
+
+
+def test_getitem_setitem():
+    bv = BitVector(8)
+    bv[5] = True
+    assert bv[5]
+    bv[5] = False
+    assert not bv[5]
+
+
+def test_set_all_and_all_set():
+    bv = BitVector(64)
+    bv.set_all()
+    assert bv.all_set
+    assert bv.count() == 64
+
+
+def test_clear_all():
+    bv = BitVector(16)
+    bv.set_all()
+    bv.clear_all()
+    assert not bv.any_set
+
+
+def test_out_of_range_raises():
+    bv = BitVector(8)
+    with pytest.raises(IndexError):
+        bv.test(8)
+    with pytest.raises(IndexError):
+        bv.set(-1)
+
+
+def test_invalid_width():
+    with pytest.raises(ValueError):
+        BitVector(0)
+
+
+def test_initial_bits_validated():
+    with pytest.raises(ValueError):
+        BitVector(4, bits=0x10)
+
+
+def test_first_zero_empty():
+    bv = BitVector(64)
+    assert bv.first_zero() == 0
+
+
+def test_first_zero_skips_set_bits():
+    bv = BitVector(8)
+    bv.set(0)
+    bv.set(1)
+    assert bv.first_zero() == 2
+
+
+def test_first_zero_with_start():
+    bv = BitVector(8)
+    assert bv.first_zero(start=5) == 5
+
+
+def test_first_zero_full_returns_minus_one():
+    bv = BitVector(8)
+    bv.set_all()
+    assert bv.first_zero() == -1
+
+
+def test_first_zero_at_width_boundary():
+    bv = BitVector(8)
+    assert bv.first_zero(start=8) == -1
+
+
+def test_first_zero_sequential_scan_order():
+    """Sequential fetch scans for the next unissued sub-block."""
+    bv = BitVector(64)
+    order = []
+    for _ in range(64):
+        i = bv.first_zero()
+        order.append(i)
+        bv.set(i)
+    assert order == list(range(64))
+
+
+def test_copy_is_independent():
+    a = BitVector(8)
+    a.set(1)
+    b = a.copy()
+    b.set(2)
+    assert not a.test(2)
+    assert b.test(1)
+
+
+def test_equality():
+    a = BitVector(8, 0b101)
+    b = BitVector(8, 0b101)
+    c = BitVector(8, 0b111)
+    assert a == b
+    assert a != c
+    assert a != BitVector(16, 0b101)
+
+
+def test_iter_yields_lsb_first():
+    bv = BitVector(4, 0b0101)
+    assert list(bv) == [True, False, True, False]
+
+
+def test_to_int_roundtrip():
+    bv = BitVector(64, 0xDEADBEEF)
+    assert BitVector(64, bv.to_int()) == bv

@@ -1,0 +1,136 @@
+"""Statistics primitives."""
+
+import pytest
+
+from repro.common.stats import (
+    BandwidthMeter,
+    Counter,
+    Histogram,
+    RunningMean,
+    StatGroup,
+)
+from repro.common.types import TrafficClass
+
+
+def test_counter_increments():
+    c = Counter("x")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+
+
+def test_counter_reset():
+    c = Counter("x")
+    c.inc(3)
+    c.reset()
+    assert c.value == 0
+
+
+def test_running_mean_empty():
+    m = RunningMean("m")
+    assert m.mean == 0.0
+    assert m.min is None and m.max is None
+
+
+def test_running_mean_tracks_min_max():
+    m = RunningMean("m")
+    for v in (5, 1, 9):
+        m.add(v)
+    assert m.mean == 5.0
+    assert m.min == 1
+    assert m.max == 9
+    assert m.count == 3
+
+
+def test_histogram_power_of_two_buckets():
+    h = Histogram("h")
+    h.add(1)
+    h.add(3)
+    h.add(5)
+    assert h.buckets[1] == 1
+    assert h.buckets[2] == 1
+    assert h.buckets[4] == 1
+
+
+def test_histogram_linear_buckets():
+    h = Histogram("h", bucket_width=10)
+    h.add(5)
+    h.add(15)
+    h.add(19)
+    assert h.buckets[0] == 1
+    assert h.buckets[10] == 2
+
+
+def test_histogram_mean_and_percentile():
+    h = Histogram("h", bucket_width=1)
+    for v in range(1, 101):
+        h.add(v)
+    assert h.mean == pytest.approx(50.5)
+    assert 45 <= h.percentile(50) <= 55
+    assert h.percentile(100) == 100
+
+
+def test_histogram_zero_sample():
+    h = Histogram("h")
+    h.add(0)
+    assert h.buckets[0] == 1
+
+
+def test_bandwidth_meter_records_by_class():
+    bw = BandwidthMeter("bw")
+    bw.record(TrafficClass.DEMAND, 64)
+    bw.record(TrafficClass.FILL, 128)
+    assert bw.total_bytes == 192
+    assert bw.bytes_by_class[TrafficClass.FILL] == 128
+
+
+def test_bandwidth_meter_gbps():
+    bw = BandwidthMeter("bw")
+    bw.record(TrafficClass.DEMAND, 10**9)
+    # 1 GB over 1 second of cycles at 1 GHz -> 1 GB/s.
+    assert bw.gbps(elapsed_cycles=10**9, cycles_per_second=1e9) == pytest.approx(1.0)
+
+
+def test_bandwidth_meter_breakdown_sums_to_one():
+    bw = BandwidthMeter("bw")
+    bw.record(TrafficClass.DEMAND, 75)
+    bw.record(TrafficClass.METADATA, 25)
+    frac = bw.breakdown()
+    assert frac["DEMAND"] == pytest.approx(0.75)
+    assert sum(frac.values()) == pytest.approx(1.0)
+
+
+def test_bandwidth_meter_zero_elapsed():
+    bw = BandwidthMeter("bw")
+    assert bw.gbps(0, 1e9) == 0.0
+
+
+def test_stat_group_creates_and_caches():
+    g = StatGroup("g")
+    c1 = g.counter("hits")
+    c2 = g.counter("hits")
+    assert c1 is c2
+
+
+def test_stat_group_type_conflict():
+    g = StatGroup("g")
+    g.counter("x")
+    with pytest.raises(TypeError):
+        g.mean("x")
+
+
+def test_stat_group_as_dict():
+    g = StatGroup("g")
+    g.counter("hits").inc(3)
+    g.mean("lat").add(10)
+    d = g.as_dict()
+    assert d["hits"] == 3
+    assert d["lat.mean"] == 10
+    assert d["lat.count"] == 1
+
+
+def test_stat_group_contains():
+    g = StatGroup("g")
+    g.counter("a")
+    assert "a" in g
+    assert "b" not in g

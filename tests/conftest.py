@@ -1,0 +1,17 @@
+"""Shared fixtures: a fresh simulator and a tiny two-core system."""
+
+import pytest
+
+from repro.config.system import scaled_system
+from repro.engine.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_cfg():
+    """A 2-core, 8 MB-DC machine: fast enough for unit tests."""
+    return scaled_system(num_cores=2, dc_megabytes=8)

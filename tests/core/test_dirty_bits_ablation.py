@@ -1,0 +1,31 @@
+"""Dirty-in-cache (DC) bit ablation: without it, every eviction pays."""
+
+from repro.config.schemes import NomadConfig, TDCConfig
+from repro.system.builder import build_machine
+from repro.workloads.presets import workload
+
+
+def run(tiny_cfg, scheme, dc_bits, ops=1500):
+    spec = workload("lbm", dc_pages=tiny_cfg.dc_pages,
+                    num_cores=tiny_cfg.num_cores, num_mem_ops=ops)
+    kw = {}
+    if scheme == "nomad":
+        kw["nomad_cfg"] = NomadConfig(dirty_in_cache_bits=dc_bits)
+    else:
+        kw["tdc_cfg"] = TDCConfig(dirty_in_cache_bits=dc_bits)
+    return build_machine(scheme, cfg=tiny_cfg, spec=spec, **kw).run()
+
+
+def test_nomad_without_dc_bits_writes_back_everything(tiny_cfg):
+    with_bits = run(tiny_cfg, "nomad", True)
+    without = run(tiny_cfg, "nomad", False)
+    assert without.page_writebacks >= with_bits.page_writebacks
+    wb_with = with_bits.ddr_bytes_by_class.get("WRITEBACK", 0)
+    wb_without = without.ddr_bytes_by_class.get("WRITEBACK", 0)
+    assert wb_without > wb_with
+
+
+def test_tdc_without_dc_bits_writes_back_everything(tiny_cfg):
+    with_bits = run(tiny_cfg, "tdc", True)
+    without = run(tiny_cfg, "tdc", False)
+    assert without.page_writebacks >= with_bits.page_writebacks

@@ -1,0 +1,214 @@
+"""Front-end OS routines: tag miss handler + eviction daemon."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.types import MemAccess
+from repro.config.dram import HBM2, scaled_dram
+from repro.config.system import scaled_system
+from repro.core.frontend import DataManager, FrontEnd
+from repro.dram.device import DRAMDevice
+from repro.vm.descriptors import DescriptorTables
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import TLB
+
+
+class RecordingManager(DataManager):
+    """Accepts everything instantly; records calls."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.fills = []
+        self.writebacks = []
+        self.busy = set()
+
+    def fill(self, cfn, pfn, sub_block, on_offloaded, on_resume):
+        self.fills.append((cfn, pfn, sub_block))
+        on_offloaded()
+        on_resume(self.sim.now)
+
+    def writeback(self, cfn, pfn, on_offloaded):
+        self.writebacks.append((cfn, pfn))
+        on_offloaded()
+
+    def frame_busy(self, cfn):
+        return cfn in self.busy
+
+
+class World:
+    def __init__(self, sim, num_frames=32, use_mutex=True, threshold=4, batch=2,
+                 tag_latency=400):
+        cfg = scaled_system(num_cores=2, dc_megabytes=8)
+        object.__setattr__(cfg, "__dict__", dict(cfg.__dict__))  # no-op for frozen
+        self.tables = DescriptorTables()
+        self.page_tables = [PageTable(i, self.tables) for i in range(2)]
+        self.hierarchy = CacheHierarchy(sim, cfg, lambda a, cb: None, lambda p: None)
+        self.hbm = DRAMDevice(sim, "hbm", scaled_dram(HBM2, 1 << 24), 3.6)
+        self.manager = RecordingManager(sim)
+        import dataclasses
+        cfg_small = dataclasses.replace(cfg, dc_pages=num_frames)
+        self.fe = FrontEnd(
+            sim, cfg_small, self.manager, self.page_tables, self.tables,
+            self.hierarchy, self.hbm,
+            use_mutex=use_mutex, tag_mgmt_latency=tag_latency,
+            eviction_threshold=threshold, eviction_batch=batch, eviction_cost=10,
+        )
+        self.tlbs = [TLB(i, cfg.tlb,
+                         on_install=lambda vpn, pte, i=i: self.fe.tlb_changed(i, pte, True),
+                         on_evict=lambda vpn, pte, i=i: self.fe.tlb_changed(i, pte, False))
+                     for i in range(2)]
+        self.fe.attach_tlbs(self.tlbs)
+
+    def fault(self, sim, core, vpn, done):
+        pte = self.page_tables[core].get_or_create(vpn)
+        self.fe.handle_tag_miss(core, vpn, pte, vpn * 4096, done)
+        return pte
+
+
+def test_tag_miss_updates_pte_and_cpd(sim):
+    w = World(sim)
+    done = []
+    pte = w.fault(sim, 0, 5, done.append)
+    sim.run()
+    assert done and done[0] >= 400
+    assert pte.cached
+    cfn = pte.page_frame_num
+    cpd = w.fe.cpds[cfn]
+    assert cpd.valid
+    assert w.tables.reverse_map(cpd.pfn) == [(0, 5)]
+    assert w.tables.ppd(cpd.pfn).cached
+    assert w.manager.fills == [(cfn, cpd.pfn, 0)]
+
+
+def test_tag_latency_includes_base_cost(sim):
+    w = World(sim, tag_latency=400)
+    w.fault(sim, 0, 1, lambda t: None)
+    sim.run()
+    assert w.fe.stats.get("tag_mgmt_latency").mean >= 400
+
+
+def test_mutex_serializes_handlers(sim):
+    w = World(sim)
+    times = []
+    w.fault(sim, 0, 1, times.append)
+    w.fault(sim, 1, 2, times.append)
+    sim.run()
+    # Second handler queued behind the first: ~800 total.
+    assert times[1] >= 800
+
+
+def test_no_mutex_handlers_overlap(sim):
+    w = World(sim, use_mutex=False)
+    times = []
+    w.fault(sim, 0, 1, times.append)
+    w.fault(sim, 1, 2, times.append)
+    sim.run()
+    assert times[1] < 800
+
+
+def test_fifo_frame_allocation(sim):
+    w = World(sim)
+    ptes = []
+    for vpn in range(3):
+        ptes.append(w.fault(sim, 0, vpn, lambda t: None))
+    sim.run()
+    assert [p.page_frame_num for p in ptes] == [0, 1, 2]
+
+
+def test_daemon_triggers_below_threshold(sim):
+    w = World(sim, num_frames=8, threshold=4, batch=2)
+    for vpn in range(6):
+        w.fault(sim, 0, vpn, lambda t: None)
+        sim.run()
+    assert w.fe.stats.get("evictions").value > 0
+
+
+def test_eviction_restores_pte(sim):
+    w = World(sim, num_frames=8, threshold=6, batch=4)
+    ptes = [w.fault(sim, 0, vpn, lambda t: None) for vpn in range(4)]
+    sim.run()
+    evicted = [p for p in ptes if not p.cached]
+    assert evicted, "daemon should have evicted something"
+    for p in evicted:
+        ppd = w.tables.ppd(p.page_frame_num)
+        assert not ppd.cached
+
+
+def test_eviction_skips_tlb_resident(sim):
+    w = World(sim, num_frames=8, threshold=6, batch=4)
+    pte0 = w.fault(sim, 0, 0, lambda t: None)
+    sim.run()
+    w.tlbs[0].install(0, pte0)  # now TLB-resident
+    for vpn in range(1, 4):
+        w.fault(sim, 0, vpn, lambda t: None)
+        sim.run()
+    assert pte0.cached, "TLB-resident frame must not be evicted"
+    assert w.fe.stats.get("eviction_tlb_skips").value > 0
+
+
+def test_eviction_skips_busy_fills(sim):
+    w = World(sim, num_frames=8, threshold=6, batch=4)
+    pte0 = w.fault(sim, 0, 0, lambda t: None)
+    sim.run()
+    w.manager.busy.add(pte0.page_frame_num)  # fill still in flight
+    for vpn in range(1, 4):
+        w.fault(sim, 0, vpn, lambda t: None)
+        sim.run()
+    assert pte0.cached
+    assert w.fe.stats.get("eviction_busy_skips").value > 0
+
+
+def test_dirty_frame_writes_back(sim):
+    w = World(sim, num_frames=8, threshold=6, batch=4)
+    pte = w.fault(sim, 0, 0, lambda t: None)
+    sim.run()
+    w.fe.cpds[pte.page_frame_num].dirty_in_cache = True
+    for vpn in range(1, 4):
+        w.fault(sim, 0, vpn, lambda t: None)
+        sim.run()
+    assert w.manager.writebacks
+
+
+def test_handler_waits_for_free_frame(sim):
+    """All frames allocated and TLB-resident: forced shootdown path."""
+    w = World(sim, num_frames=4, threshold=0, batch=2)
+    ptes = []
+    for vpn in range(4):
+        pte = w.fault(sim, 0, vpn, lambda t: None)
+        ptes.append(pte)
+        sim.run()
+        w.tlbs[0].install(vpn, pte)
+    done = []
+    w.fault(sim, 0, 99, done.append)
+    sim.run()
+    assert done, "handler must eventually get a frame via forced shootdown"
+    assert w.fe.stats.get("forced_shootdowns").value >= 1
+
+
+def test_shared_page_updates_all_mappings(sim):
+    w = World(sim)
+    pte0 = w.page_tables[0].get_or_create(7)
+    pfn = pte0.page_frame_num
+    w.tables.share(pfn, 1, 8)
+    pte1 = w.page_tables[1]._entries[8] = type(pte0)(page_frame_num=pfn)
+    w.fe.handle_tag_miss(0, 7, pte0, 0, lambda t: None)
+    sim.run()
+    assert pte0.cached and pte1.cached
+    assert pte0.page_frame_num == pte1.page_frame_num
+
+
+def test_warm_fill_zero_cost(sim):
+    w = World(sim)
+    pte = w.page_tables[0].get_or_create(3)
+    w.fe.warm_fill(0, 3, pte)
+    assert pte.cached
+    assert sim.now == 0
+    assert w.fe.stats.get("fills").value == 0  # not a timed fill
+
+
+def test_warm_fill_evicts_when_needed(sim):
+    w = World(sim, num_frames=4, threshold=2, batch=2)
+    ptes = [w.page_tables[0].get_or_create(v) for v in range(4)]
+    for v, p in enumerate(ptes):
+        w.fe.warm_fill(0, v, p)
+    assert sum(p.cached for p in ptes) < 4 or w.fe.free_queue.num_free > 0

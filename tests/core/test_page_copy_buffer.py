@@ -1,0 +1,48 @@
+"""Page copy buffer pool semantics."""
+
+import pytest
+
+from repro.core.page_copy_buffer import PageCopyBufferPool
+
+
+def test_acquire_immediate_when_free(sim):
+    pool = PageCopyBufferPool(sim, 2)
+    got = []
+    pool.acquire(lambda: got.append(sim.now))
+    assert got == [0]
+    assert pool.in_use == 1
+
+
+def test_waits_when_exhausted(sim):
+    pool = PageCopyBufferPool(sim, 1)
+    got = []
+    pool.acquire(lambda: got.append("a"))
+    pool.acquire(lambda: got.append("b"))
+    assert got == ["a"]
+    assert pool.waits == 1
+    sim.schedule(50, pool.release)
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_fifo_grant_order(sim):
+    pool = PageCopyBufferPool(sim, 1)
+    got = []
+    pool.acquire(lambda: None)
+    pool.acquire(lambda: got.append(1))
+    pool.acquire(lambda: got.append(2))
+    pool.release()
+    pool.release()
+    sim.run()
+    assert got == [1, 2]
+
+
+def test_release_overflow_guarded(sim):
+    pool = PageCopyBufferPool(sim, 1)
+    with pytest.raises(RuntimeError):
+        pool.release()
+
+
+def test_zero_buffers_rejected(sim):
+    with pytest.raises(ValueError):
+        PageCopyBufferPool(sim, 0)

@@ -1,0 +1,123 @@
+"""PCSHR register semantics (Fig. 6)."""
+
+import pytest
+
+from repro.core.pcshr import CommandType, PCSHR
+
+
+def alloc(p=None, pi=5, cmd=CommandType.CACHE_FILL):
+    p = p or PCSHR(0)
+    p.allocate(cmd, pfn=10, cfn=20, priority_index=pi, now=100)
+    return p
+
+
+def test_allocate_resets_state():
+    p = PCSHR(0)
+    p.r_vector.set_all()
+    p = alloc(p)
+    assert p.valid
+    assert not p.r_vector.any_set
+    assert not p.b_vector.any_set
+    assert not p.w_vector.any_set
+    assert p.priority and p.priority_index == 5
+    assert p.alloc_time == 100
+
+
+def test_allocate_without_priority():
+    p = alloc(pi=None)
+    assert not p.priority
+
+
+def test_launch_sets_r_vector():
+    p = alloc()
+    p.launch(110, [110 + i for i in range(64)])
+    assert p.r_vector.all_set
+    assert p.launched
+
+
+def test_launch_wrong_length_rejected():
+    p = alloc()
+    with pytest.raises(ValueError):
+        p.launch(110, [1, 2, 3])
+
+
+def test_sub_block_in_buffer_follows_arrivals():
+    p = alloc()
+    p.launch(0, [100] * 32 + [500] * 32)
+    assert p.sub_block_in_buffer(0, now=100)
+    assert not p.sub_block_in_buffer(40, now=100)
+    assert p.sub_block_in_buffer(40, now=500)
+
+
+def test_cpu_write_puts_data_in_buffer():
+    p = alloc()
+    assert not p.sub_block_in_buffer(3, now=0)
+    p.record_cpu_write(3)
+    assert p.sub_block_in_buffer(3, now=0)
+
+
+def test_buffer_ready_time_none_before_launch():
+    p = alloc()
+    assert p.buffer_ready_time(0) is None
+
+
+def test_sync_derives_b_and_w_vectors():
+    p = alloc()
+    p.launch(0, [10 * (i + 1) for i in range(64)])
+    p.write_times = [1000 + i for i in range(64)]
+    p.sync(now=40)
+    assert p.b_vector.count() == 4
+    assert p.w_vector.count() == 0
+    p.sync(now=2000)
+    assert p.b_vector.all_set
+    assert p.w_vector.all_set
+
+
+def test_sync_wakes_sub_entries():
+    p = alloc()
+    p.launch(0, [50] * 64)
+    e = p.add_sub_entry(7, access_id=1)
+    p.sync(now=10)
+    assert e.valid
+    p.sync(now=60)
+    assert not e.valid
+
+
+def test_sub_entry_overflow_counted():
+    p = PCSHR(0, num_sub_entries=2)
+    p.allocate(CommandType.CACHE_FILL, 1, 2, None, 0)
+    for i in range(3):
+        p.add_sub_entry(i, access_id=i)
+    assert p.sub_entry_overflows == 1
+
+
+def test_transfer_order_critical_data_first():
+    p = alloc(pi=9)
+    order = p.transfer_order(critical_data_first=True)
+    assert order[0] == 9
+    assert sorted(order) == list(range(64))
+
+
+def test_transfer_order_sequential_when_disabled():
+    p = alloc(pi=9)
+    assert p.transfer_order(critical_data_first=False) == list(range(64))
+
+
+def test_transfer_order_writeback_has_no_priority():
+    p = alloc(pi=None, cmd=CommandType.WRITEBACK)
+    assert p.transfer_order(critical_data_first=True) == list(range(64))
+
+
+def test_release():
+    p = alloc()
+    p.release()
+    assert not p.valid
+
+
+def test_repr_states():
+    p = PCSHR(3)
+    assert "idle" in repr(p)
+    p = alloc(p)
+    assert "waiting" in repr(p)
+    p.launch(0, [0] * 64)
+    assert "active" in repr(p)

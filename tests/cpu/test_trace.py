@@ -1,0 +1,33 @@
+"""Trace format helpers."""
+
+import numpy as np
+
+from repro.cpu.trace import TraceOp, chain_chunks, ops_from_arrays, total_instructions
+
+
+def test_trace_op_tuple():
+    op = TraceOp(gap=3, addr=0x1000, is_write=True, dependent=False)
+    assert op.as_tuple() == (3, 0x1000, True, False)
+
+
+def test_ops_from_arrays():
+    gaps = np.array([1, 2])
+    addrs = np.array([64, 128])
+    writes = np.array([False, True])
+    deps = np.array([True, False])
+    ops = list(ops_from_arrays(gaps, addrs, writes, deps))
+    assert ops == [(1, 64, False, True), (2, 128, True, False)]
+    assert all(isinstance(x, int) for x in (ops[0][0], ops[0][1]))
+
+
+def test_chain_chunks():
+    c1 = (np.array([0]), np.array([0]), np.array([False]), np.array([False]))
+    c2 = (np.array([5]), np.array([64]), np.array([True]), np.array([False]))
+    ops = list(chain_chunks([c1, c2]))
+    assert len(ops) == 2
+    assert ops[1][0] == 5
+
+
+def test_total_instructions():
+    trace = [(3, 0, False, False), (0, 64, False, False)]
+    assert total_instructions(trace) == 5

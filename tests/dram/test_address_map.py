@@ -1,0 +1,46 @@
+"""Address decomposition: channel/bank/row interleaving."""
+
+import pytest
+
+from repro.config.dram import DDR4_3200, HBM2, DRAMTimingConfig
+from repro.dram.address_map import AddressMap
+
+
+def test_channels_interleave_at_burst():
+    am = AddressMap(HBM2)
+    assert am.decode(0).channel == 0
+    assert am.decode(64).channel == 1
+    assert am.decode(64 * HBM2.num_channels).channel == 0
+
+
+def test_page_spreads_over_all_channels():
+    am = AddressMap(HBM2)
+    channels = {am.decode(i * 64).channel for i in range(64)}
+    assert channels == set(range(HBM2.num_channels))
+
+
+def test_same_row_for_consecutive_bursts_on_channel():
+    am = AddressMap(DDR4_3200)
+    d0 = am.decode(0)
+    d1 = am.decode(64 * DDR4_3200.num_channels)  # next burst, same channel
+    assert (d0.bank, d0.row) == (d1.bank, d1.row)
+
+
+def test_rows_advance_through_banks():
+    am = AddressMap(DDR4_3200)
+    row_bytes = DDR4_3200.row_size_bytes * DDR4_3200.num_channels
+    d0 = am.decode(0)
+    d1 = am.decode(row_bytes)
+    assert d1.bank == (d0.bank + 1) % DDR4_3200.banks_per_channel
+
+
+def test_channel_of_matches_decode():
+    am = AddressMap(HBM2)
+    for addr in (0, 64, 4096, 123456):
+        assert am.channel_of(addr) == am.decode(addr).channel
+
+
+def test_row_smaller_than_burst_rejected():
+    bad = DRAMTimingConfig("bad", 1 << 20, 1, 1, 32, 1, 1, 1, 1, 1)
+    with pytest.raises(ValueError):
+        AddressMap(bad)

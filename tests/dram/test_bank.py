@@ -1,0 +1,62 @@
+"""Bank state machine: row-buffer outcomes and timing."""
+
+from repro.config.dram import HBM2
+from repro.dram.bank import Bank
+from repro.dram.timing import ResolvedTiming
+
+T = ResolvedTiming.from_config(HBM2, 3.6)
+
+
+def test_first_access_is_closed():
+    b = Bank()
+    ready, outcome = b.access(5, now=0, timing=T)
+    assert outcome == "closed"
+    assert ready == T.trcd + T.tcas
+
+
+def test_same_row_hits():
+    b = Bank()
+    b.access(5, 0, T)
+    ready, outcome = b.access(5, 1000, T)
+    assert outcome == "hit"
+    assert ready == 1000 + T.tcas
+
+
+def test_different_row_conflicts():
+    b = Bank()
+    b.access(5, 0, T)
+    _, outcome = b.access(6, 10_000, T)
+    assert outcome == "conflict"
+
+
+def test_conflict_pays_precharge_and_activate():
+    b = Bank()
+    b.access(5, 0, T)
+    ready, _ = b.access(6, 10_000, T)
+    assert ready == 10_000 + T.trp + T.trcd + T.tcas
+
+
+def test_conflict_respects_tras():
+    b = Bank()
+    b.access(5, 0, T)  # activated at 0
+    # Immediately conflicting: precharge must wait for tRAS.
+    ready, outcome = b.access(6, T.tburst, T)
+    assert outcome == "conflict"
+    assert ready >= T.tras + T.trp + T.trcd + T.tcas
+
+
+def test_open_row_pipelines_at_burst_rate():
+    """Streaming an open row must go at tCCD (~tburst), not tCAS."""
+    b = Bank()
+    b.access(1, 0, T)
+    r1, _ = b.access(1, 0, T)
+    r2, _ = b.access(1, 0, T)
+    assert r2 - r1 == T.tburst
+
+
+def test_row_stays_open():
+    b = Bank()
+    b.access(9, 0, T)
+    assert b.open_row == 9
+    b.access(4, 10_000, T)
+    assert b.open_row == 4

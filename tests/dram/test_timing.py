@@ -1,0 +1,25 @@
+"""Resolved DRAM timing."""
+
+import pytest
+
+from repro.config.dram import DDR4_3200, HBM2
+from repro.dram.timing import ResolvedTiming
+
+
+def test_resolution_at_3_6_ghz():
+    t = ResolvedTiming.from_config(DDR4_3200, 3.6)
+    assert t.trcd == 50  # ceil(13.75ns * 3.6GHz)
+    assert t.tburst == 9  # ceil(2.5ns * 3.6GHz)
+
+
+def test_latency_compositions():
+    t = ResolvedTiming.from_config(HBM2, 3.6)
+    assert t.row_hit_latency == t.tcas + t.tburst
+    assert t.row_closed_latency == t.trcd + t.tcas + t.tburst
+    assert t.row_conflict_latency == t.trp + t.trcd + t.tcas + t.tburst
+    assert t.row_hit_latency < t.row_closed_latency < t.row_conflict_latency
+
+
+def test_minimum_one_cycle():
+    t = ResolvedTiming.from_config(DDR4_3200, 0.001)  # absurdly slow CPU
+    assert t.tburst >= 1

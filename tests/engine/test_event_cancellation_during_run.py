@@ -1,0 +1,57 @@
+"""Event cancellation and rescheduling interplay with the run loop."""
+
+from repro.engine.simulator import Simulator
+
+
+def test_cancel_pending_event_mid_run():
+    sim = Simulator()
+    fired = []
+    later = sim.schedule(100, lambda: fired.append("later"))
+    sim.schedule(10, lambda: later.cancel())
+    sim.run()
+    assert fired == []
+    assert sim.now == 10
+
+
+def test_reschedule_pattern():
+    """Cancel-and-reschedule, the classic timer pattern."""
+    sim = Simulator()
+    fired = []
+    handle = {"ev": sim.schedule(50, lambda: fired.append(50))}
+
+    def postpone():
+        handle["ev"].cancel()
+        handle["ev"] = sim.schedule(100, lambda: fired.append(sim.now))
+
+    sim.schedule(10, postpone)
+    sim.run()
+    assert fired == [110]
+
+
+def test_zero_delay_cascade_terminates():
+    sim = Simulator()
+    count = {"n": 0}
+
+    def chain():
+        count["n"] += 1
+        if count["n"] < 100:
+            sim.schedule(0, chain)
+
+    sim.schedule(0, chain)
+    processed = sim.run(max_events=1000)
+    assert count["n"] == 100
+    assert processed == 100
+    assert sim.now == 0
+
+
+def test_interleaved_components_deterministic():
+    def run_once():
+        sim = Simulator()
+        log = []
+        for comp in range(3):
+            for t in (5, 5, 10):
+                sim.schedule(t, lambda c=comp, t=t: log.append((t, c)))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

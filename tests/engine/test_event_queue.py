@@ -1,0 +1,65 @@
+"""Event queue ordering and cancellation."""
+
+import pytest
+
+from repro.engine.event_queue import EventQueue
+
+
+def test_pop_in_time_order():
+    q = EventQueue()
+    seen = []
+    q.push(5, lambda: seen.append(5))
+    q.push(1, lambda: seen.append(1))
+    q.push(3, lambda: seen.append(3))
+    while (e := q.pop()) is not None:
+        e.callback()
+    assert seen == [1, 3, 5]
+
+
+def test_same_time_fifo():
+    q = EventQueue()
+    seen = []
+    for i in range(10):
+        q.push(7, lambda i=i: seen.append(i))
+    while (e := q.pop()) is not None:
+        e.callback()
+    assert seen == list(range(10))
+
+
+def test_cancelled_events_skipped():
+    q = EventQueue()
+    e1 = q.push(1, lambda: None)
+    e2 = q.push(2, lambda: None)
+    e1.cancel()
+    assert q.pop() is e2
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e1 = q.push(1, lambda: None)
+    q.push(5, lambda: None)
+    e1.cancel()
+    assert q.peek_time() == 5
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    e = q.push(1, lambda: None)
+    q.push(2, lambda: None)
+    assert len(q) == 2
+    e.cancel()
+    assert len(q) == 1
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-1, lambda: None)
+
+
+def test_empty_property():
+    q = EventQueue()
+    assert q.empty
+    q.push(0, lambda: None)
+    assert not q.empty

@@ -1,0 +1,92 @@
+"""Simulator clock and run loop."""
+
+import pytest
+
+from repro.engine.simulator import Component, Simulator
+
+
+def test_schedule_advances_clock(sim):
+    times = []
+    sim.schedule(10, lambda: times.append(sim.now))
+    sim.schedule(20, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [10, 20]
+
+
+def test_schedule_at_absolute(sim):
+    hits = []
+    sim.schedule_at(42, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [42]
+
+
+def test_schedule_in_past_rejected(sim):
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(1, lambda: None)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_run_until_bound(sim):
+    fired = []
+    sim.schedule(5, lambda: fired.append(5))
+    sim.schedule(15, lambda: fired.append(15))
+    sim.run(until=10)
+    assert fired == [5]
+    assert sim.now == 10
+    sim.run()
+    assert fired == [5, 15]
+
+
+def test_run_max_events(sim):
+    for i in range(10):
+        sim.schedule(i, lambda: None)
+    processed = sim.run(max_events=4)
+    assert processed == 4
+    assert sim.pending_events == 6
+
+
+def test_events_can_schedule_events(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(5, lambda: order.append("second"))
+
+    sim.schedule(1, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 6
+
+
+def test_stop_exits_loop(sim):
+    fired = []
+
+    def stopper():
+        fired.append("a")
+        sim.stop()
+
+    sim.schedule(1, stopper)
+    sim.schedule(2, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a"]
+
+
+def test_component_registration(sim):
+    c = Component(sim, "thing")
+    assert c in sim.components
+    assert c.now == sim.now
+    assert repr(c) == "Component('thing')"
+
+
+def test_component_schedule(sim):
+    c = Component(sim, "c")
+    fired = []
+    c.schedule(3, lambda: fired.append(c.now))
+    sim.run()
+    assert fired == [3]

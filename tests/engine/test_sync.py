@@ -1,0 +1,60 @@
+"""The event-driven FIFO mutex guarding frame management."""
+
+import pytest
+
+from repro.engine.sync import Mutex
+
+
+def test_uncontended_acquire_is_synchronous(sim):
+    m = Mutex(sim)
+    granted = []
+    m.acquire(lambda: granted.append(sim.now))
+    assert granted == [0]
+    assert m.locked
+
+
+def test_release_unlocks(sim):
+    m = Mutex(sim)
+    m.acquire(lambda: None)
+    m.release()
+    assert not m.locked
+
+
+def test_fifo_grant_order(sim):
+    m = Mutex(sim)
+    order = []
+
+    def holder():
+        order.append("holder")
+        sim.schedule(10, m.release)
+
+    m.acquire(holder)
+    m.acquire(lambda: (order.append("w1"), m.release()))
+    m.acquire(lambda: (order.append("w2"), m.release()))
+    sim.run()
+    assert order == ["holder", "w1", "w2"]
+
+
+def test_waiters_granted_at_release_time(sim):
+    m = Mutex(sim)
+    grant_times = []
+    m.acquire(lambda: None)
+    m.acquire(lambda: grant_times.append(sim.now))
+    sim.schedule(100, m.release)
+    sim.run()
+    assert grant_times == [100]
+
+
+def test_release_unheld_raises(sim):
+    m = Mutex(sim)
+    with pytest.raises(RuntimeError):
+        m.release()
+
+
+def test_contention_counters(sim):
+    m = Mutex(sim)
+    m.acquire(lambda: None)
+    m.acquire(lambda: None)
+    assert m.acquisitions == 2
+    assert m.contended_acquisitions == 1
+    assert m.queue_depth == 1

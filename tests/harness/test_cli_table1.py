@@ -1,0 +1,11 @@
+"""CLI table1 and compare at tiny scale."""
+
+from repro.cli import main
+
+
+def test_table1_cmd(capsys):
+    rc = main(["table1", "--ops", "300", "--cores", "2", "--dc-mb", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rmhb_gbps" in out
+    assert out.count("\n") >= 17  # header + 15 workloads

@@ -1,0 +1,104 @@
+"""Experiment definitions produce well-formed rows (tiny runs)."""
+
+import pytest
+
+from repro.config.schemes import BackendTopology
+from repro.harness.experiments import (
+    FIG2_WORKLOADS,
+    experiment_fig02,
+    experiment_fig07,
+    experiment_fig09,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_fig14,
+    experiment_fig15,
+    experiment_fig16,
+    experiment_summary,
+    experiment_table1,
+)
+from repro.harness.runner import RunConfig
+
+BASE = RunConfig(scheme="ideal", workload="cact", num_mem_ops=400,
+                 num_cores=2, dc_megabytes=8)
+WLS = ["cact", "pr"]
+
+
+def test_table1_rows():
+    rows = experiment_table1(BASE, workloads=WLS)
+    assert len(rows) == 2
+    assert rows[0]["rmhb_gbps"] >= rows[1]["rmhb_gbps"]
+    assert {"workload", "paper_class", "measured_class", "llc_mpms"} <= set(rows[0])
+
+
+def test_fig02_rows():
+    rows = experiment_fig02(BASE, workloads=WLS)
+    assert all(r["tdc_over_tid"] > 0 for r in rows)
+
+
+def test_fig02_default_workloads():
+    assert len(FIG2_WORKLOADS) == 6
+
+
+def test_fig07_static():
+    t = experiment_fig07(BASE)
+    assert t["tdc"]["miss_miss"] > t["nomad"]["miss_miss"]
+
+
+def test_fig09_rows():
+    rows = experiment_fig09(BASE, workloads=WLS, schemes=["nomad"])
+    assert len(rows) == 2
+    assert all("nomad_ipc_rel" in r and "nomad_dc_access_time" in r for r in rows)
+
+
+def test_fig10_fractions_sum():
+    rows = experiment_fig10(BASE, workloads=["pr"], schemes=["nomad"])
+    r = rows[0]
+    total = (r["demand_frac"] + r["metadata_frac"] + r["fill_frac"]
+             + r["writeback_frac"])
+    assert total == pytest.approx(1.0, abs=1e-6)
+
+
+def test_fig11_rows():
+    rows = experiment_fig11(BASE, workloads=WLS)
+    assert all(0 <= r["tdc_stall_ratio"] <= 1 for r in rows)
+    assert all(r["nomad_tag_latency"] >= 0 for r in rows)
+
+
+def test_fig12_rows():
+    rows = experiment_fig12(BASE, pcshr_counts=(1, 4), workloads_per_class=1)
+    assert len(rows) == 8  # 4 classes x 2 counts
+    assert all(r["ipc_rel_baseline"] > 0 for r in rows)
+
+
+def test_fig13_normalized_to_largest():
+    rows = experiment_fig13(BASE, core_counts=(2,), pcshr_counts=(4, 8),
+                            workloads=("cact",))
+    top = [r for r in rows if r["pcshrs"] == 8][0]
+    assert top["ipc_rel_32"] == pytest.approx(1.0)
+
+
+def test_fig14_rows():
+    rows = experiment_fig14(BASE, pcshr_counts=(1, 8), workloads=("cact",))
+    assert len(rows) == 2
+    assert {r["pcshrs"] for r in rows} == {1, 8}
+
+
+def test_fig15_rows():
+    rows = experiment_fig15(BASE, combos=((4, 4), (8, 4)), workloads=("libq",))
+    assert len(rows) == 2
+    assert all(r["buffers"] == 4 for r in rows)
+
+
+def test_fig16_topologies():
+    rows = experiment_fig16(BASE, pcshr_counts=(4,), workloads=("cact",))
+    tops = {r["topology"] for r in rows}
+    assert tops == {"centralized", "distributed"}
+
+
+def test_summary_fields():
+    s = experiment_summary(BASE, workloads=WLS)
+    assert "ipc_gain_over_tdc" in s
+    assert s["paper_ipc_gain_over_tdc"] == pytest.approx(0.167)
+    assert 0 <= s["buffer_hit_ratio"] <= 1

@@ -1,0 +1,46 @@
+"""Text-table rendering."""
+
+from repro.harness.reporting import format_table, render_series, rows_to_series
+
+
+def test_format_table_basic():
+    rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123456}]
+    out = format_table(rows, title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])
+
+
+def test_format_table_column_subset():
+    rows = [{"a": 1, "b": 2, "c": 3}]
+    out = format_table(rows, columns=["a", "c"])
+    assert "b" not in out.splitlines()[0]
+
+
+def test_format_table_missing_cells():
+    rows = [{"a": 1}, {"a": 2, "b": 9}]
+    out = format_table(rows, columns=["a", "b"])
+    assert "9" in out
+
+
+def test_render_series():
+    series = {"s1": {1: 0.5, 2: 0.7}, "s2": {1: 0.6}}
+    out = render_series(series, x_label="pcshrs")
+    assert "pcshrs" in out
+    assert "s1" in out and "s2" in out
+    assert out.count("\n") == 3
+
+
+def test_rows_to_series():
+    rows = [
+        {"wl": "a", "x": 1, "y": 10},
+        {"wl": "a", "x": 2, "y": 20},
+        {"wl": "b", "x": 1, "y": 30},
+    ]
+    s = rows_to_series(rows, "wl", "x", "y")
+    assert s == {"a": {1: 10, 2: 20}, "b": {1: 30}}

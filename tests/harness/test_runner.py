@@ -1,0 +1,40 @@
+"""Run driver and memoization."""
+
+from repro.harness.runner import RunConfig, clear_cache, run_matrix, run_workload
+
+
+SMALL = RunConfig(scheme="baseline", workload="sop", num_mem_ops=300,
+                  num_cores=2, dc_megabytes=8)
+
+
+def setup_function(_):
+    clear_cache()
+
+
+def test_run_workload_returns_result():
+    r = run_workload(SMALL)
+    assert r.scheme == "baseline"
+    assert r.workload == "sop"
+
+
+def test_results_memoized():
+    a = run_workload(SMALL)
+    b = run_workload(SMALL)
+    assert a is b
+
+
+def test_distinct_configs_not_shared():
+    a = run_workload(SMALL)
+    b = run_workload(SMALL.with_(seed=2))
+    assert a is not b
+
+
+def test_with_override():
+    cfg = SMALL.with_(scheme="nomad")
+    assert cfg.scheme == "nomad"
+    assert cfg.workload == "sop"
+
+
+def test_run_matrix_keys():
+    out = run_matrix(["baseline", "ideal"], ["sop"], SMALL)
+    assert set(out) == {("baseline", "sop"), ("ideal", "sop")}

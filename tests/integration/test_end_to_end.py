@@ -1,0 +1,95 @@
+"""Whole-machine invariants across schemes."""
+
+import pytest
+
+from repro.common.types import TrafficClass
+from repro.config.system import scaled_system
+from repro.system.builder import build_machine
+from repro.workloads.presets import workload
+
+CFG = scaled_system(num_cores=2, dc_megabytes=8)
+
+
+def run(scheme, wl="bfs", ops=1500, **kw):
+    spec = workload(wl, dc_pages=CFG.dc_pages, num_cores=CFG.num_cores,
+                    num_mem_ops=ops)
+    return build_machine(scheme, cfg=CFG, spec=spec, **kw).run()
+
+
+ALL_SCHEMES = ["baseline", "tid", "tdc", "nomad", "ideal", "unthrottled"]
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_every_scheme_completes(scheme):
+    r = run(scheme)
+    assert r.runtime_cycles > 0
+    assert r.instructions > 0
+    assert r.ipc > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_determinism(scheme):
+    a = run(scheme, ops=600)
+    b = run(scheme, ops=600)
+    assert a.runtime_cycles == b.runtime_cycles
+    assert a.ipc == b.ipc
+
+
+def test_baseline_never_touches_hbm():
+    r = run("baseline")
+    assert sum(r.hbm_bytes_by_class.values()) == 0
+
+
+def test_os_schemes_have_no_metadata_traffic():
+    for scheme in ("tdc", "nomad", "ideal"):
+        r = run(scheme)
+        assert r.hbm_bytes_by_class.get("METADATA", 0) == 0, scheme
+
+
+def test_tid_pays_metadata_traffic():
+    r = run("tid")
+    assert r.hbm_bytes_by_class.get("METADATA", 0) > 0
+
+
+def test_fill_bytes_match_page_fills():
+    r = run("nomad", prewarm=False)
+    assert r.page_fills > 0
+    ddr_fill = r.ddr_bytes_by_class.get("FILL", 0)
+    # Every counted fill moved one full page off-package (modulo copies
+    # still in flight at the end of the run).
+    assert ddr_fill >= (r.page_fills - 20) * 4096
+
+
+def test_blocking_vs_nonblocking_stalls():
+    tdc = run("tdc", wl="cact")
+    nomad = run("nomad", wl="cact")
+    assert tdc.os_stall_ratio > nomad.os_stall_ratio
+
+
+def test_nomad_tag_latency_at_least_base():
+    r = run("nomad", wl="cact")
+    assert r.tag_mgmt_latency >= 400
+
+
+def test_seed_changes_results():
+    spec = workload("bfs", dc_pages=CFG.dc_pages, num_cores=CFG.num_cores,
+                    num_mem_ops=800)
+    a = build_machine("nomad", cfg=CFG, spec=spec, seed=1).run()
+    b = build_machine("nomad", cfg=CFG, spec=spec, seed=2).run()
+    assert a.runtime_cycles != b.runtime_cycles
+
+
+def test_more_cores_more_instructions():
+    cfg4 = scaled_system(num_cores=4, dc_megabytes=8)
+    spec = workload("sop", dc_pages=cfg4.dc_pages, num_cores=4, num_mem_ops=500)
+    r4 = build_machine("ideal", cfg=cfg4, spec=spec).run()
+    spec2 = workload("sop", dc_pages=CFG.dc_pages, num_cores=2, num_mem_ops=500)
+    r2 = build_machine("ideal", cfg=CFG, spec=spec2).run()
+    assert r4.instructions > r2.instructions
+
+
+def test_dc_capacity_bounds_residency():
+    r = run("nomad", wl="cact", prewarm=False)
+    # The free queue can never go negative or exceed capacity (checked
+    # internally); the run completing is the assertion here, plus:
+    assert r.page_fills >= r.page_writebacks

@@ -1,0 +1,17 @@
+"""The quickstart example runs end to end (tiny trace)."""
+
+import subprocess
+import sys
+import pathlib
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_quickstart_runs():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "sop", "400"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "NOMAD vs TDC" in out.stdout
+    assert "ipc_rel_baseline" in out.stdout

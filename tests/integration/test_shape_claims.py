@@ -1,0 +1,85 @@
+"""The paper's qualitative claims, checked on scaled-down runs.
+
+These runs use short traces, so thresholds are generous; the full-size
+shapes are produced by the benchmark harness (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.harness.runner import RunConfig, run_workload
+
+BASE = RunConfig(scheme="ideal", workload="cact", num_mem_ops=3000)
+
+
+def r(scheme, wl, **kw):
+    return run_workload(BASE.with_(scheme=scheme, workload=wl, **kw))
+
+
+def test_excess_class_rmhb_exceeds_offpackage_peak():
+    res = r("unthrottled", "cact")
+    assert res.rmhb_gbps > 25.6
+
+
+def test_few_class_rmhb_negligible():
+    res = r("unthrottled", "tc")
+    assert res.rmhb_gbps < 6.0
+
+
+def test_ideal_dominates_tdc_everywhere():
+    for wl in ("cact", "bfs", "mcf", "tc"):
+        ideal = r("ideal", wl)
+        tdc = r("tdc", wl)
+        assert ideal.ipc >= tdc.ipc * 0.98, wl
+
+
+def test_nomad_between_tdc_and_ideal_for_excess():
+    tdc = r("tdc", "cact")
+    nomad = r("nomad", "cact")
+    ideal = r("ideal", "cact")
+    assert tdc.ipc < nomad.ipc <= ideal.ipc * 1.02
+
+
+def test_nomad_matches_ideal_for_few_class():
+    nomad = r("nomad", "tc")
+    ideal = r("ideal", "tc")
+    assert nomad.ipc > 0.9 * ideal.ipc
+
+
+def test_tdc_stalls_scale_with_rmhb_class():
+    excess = r("tdc", "cact").os_stall_ratio
+    few = r("tdc", "tc").os_stall_ratio
+    assert excess > 3 * few
+
+
+def test_nomad_cuts_stalls_massively():
+    tdc = r("tdc", "cact").os_stall_ratio
+    nomad = r("nomad", "cact").os_stall_ratio
+    assert nomad < 0.5 * tdc
+
+
+def test_tid_dc_access_time_worst():
+    tid = r("tid", "pr")
+    nomad = r("nomad", "pr")
+    assert tid.dc_access_time > 2 * nomad.dc_access_time
+
+
+def test_os_schemes_near_ideal_access_time_for_resident_pages():
+    ideal = r("ideal", "tc")
+    nomad = r("nomad", "tc")
+    assert nomad.dc_access_time < ideal.dc_access_time * 1.5
+
+
+def test_pcshr_count_matters_for_excess():
+    from repro.config.schemes import NomadConfig
+    few_pcshrs = r("nomad", "cact", nomad_cfg=NomadConfig(num_pcshrs=1))
+    many_pcshrs = r("nomad", "cact", nomad_cfg=NomadConfig(num_pcshrs=16))
+    assert many_pcshrs.ipc > few_pcshrs.ipc
+
+
+def test_centralized_and_distributed_comparable():
+    from repro.config.schemes import BackendTopology, NomadConfig
+    cen = r("nomad", "cact", nomad_cfg=NomadConfig(num_pcshrs=16))
+    dist = r("nomad", "cact",
+             nomad_cfg=NomadConfig(num_pcshrs=16,
+                                   topology=BackendTopology.DISTRIBUTED))
+    assert dist.ipc == pytest.approx(cen.ipc, rel=0.25)

@@ -1,0 +1,69 @@
+"""Randomized stress: many small machines, arbitrary configs, no hangs."""
+
+import pytest
+
+from repro.config.schemes import BackendTopology, NomadConfig
+from repro.config.system import scaled_system
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import WorkloadSpec
+
+
+def spec_from(rng):
+    return WorkloadSpec(
+        name="fuzz",
+        footprint_pages=int(rng.integers(16, 4096)),
+        mem_ratio=float(rng.uniform(0.05, 0.9)),
+        page_select=str(rng.choice(["stream", "zipf", "uniform"])),
+        zipf_skew=float(rng.uniform(1.0, 6.0)),
+        mean_run_lines=int(rng.integers(1, 65)),
+        write_frac=float(rng.uniform(0.0, 0.6)),
+        dep_frac=float(rng.uniform(0.0, 0.6)),
+        bursty=bool(rng.integers(0, 2)),
+        cold_frac=float(rng.uniform(0.0, 0.3)),
+        reuse_frac=float(rng.uniform(0.0, 0.8)),
+        num_mem_ops=400,
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_configs_complete(seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    cfg = scaled_system(num_cores=int(rng.integers(1, 4)), dc_megabytes=8)
+    scheme = str(rng.choice(["baseline", "tid", "tdc", "nomad", "ideal"]))
+    nomad_cfg = NomadConfig(
+        num_pcshrs=int(rng.integers(1, 33)),
+        num_copy_buffers=int(rng.integers(1, 33)),
+        topology=BackendTopology.DISTRIBUTED if rng.integers(0, 2)
+        else BackendTopology.CENTRALIZED,
+        critical_data_first=bool(rng.integers(0, 2)),
+        serve_from_copy_buffer=bool(rng.integers(0, 2)),
+    )
+    machine = build_machine(
+        scheme, cfg=cfg, spec=spec_from(rng), nomad_cfg=nomad_cfg,
+        seed=seed,
+    )
+    result = machine.run(max_events=5_000_000)
+    assert result.instructions > 0
+    assert result.runtime_cycles > 0
+
+
+def test_single_core_single_pcshr():
+    cfg = scaled_system(num_cores=1, dc_megabytes=8)
+    spec = WorkloadSpec(name="t", footprint_pages=3000, mem_ratio=0.4,
+                        page_select="stream", mean_run_lines=8,
+                        num_mem_ops=800)
+    r = build_machine("nomad", cfg=cfg, spec=spec,
+                      nomad_cfg=NomadConfig(num_pcshrs=1)).run()
+    assert r.page_fills > 0
+
+
+def test_tiny_dc_heavy_pressure():
+    """DC far smaller than the footprint: constant eviction churn."""
+    cfg = scaled_system(num_cores=2, dc_megabytes=8)
+    spec = WorkloadSpec(name="t", footprint_pages=8000, mem_ratio=0.5,
+                        page_select="uniform", mean_run_lines=4,
+                        num_mem_ops=1200)
+    r = build_machine("nomad", cfg=cfg, spec=spec).run()
+    assert r.page_fills > 500

@@ -1,0 +1,55 @@
+"""Property-based checks on the synthetic trace generator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+
+spec_strategy = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    footprint_pages=st.integers(8, 2048),
+    mem_ratio=st.floats(0.05, 1.0),
+    page_select=st.sampled_from(["stream", "zipf", "uniform"]),
+    zipf_skew=st.floats(1.0, 8.0),
+    mean_run_lines=st.integers(1, 64),
+    write_frac=st.floats(0.0, 1.0),
+    dep_frac=st.floats(0.0, 1.0),
+    bursty=st.booleans(),
+    cold_frac=st.floats(0.0, 0.5),
+    reuse_frac=st.floats(0.0, 0.9),
+    num_mem_ops=st.integers(1, 600),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec_strategy)
+def test_trace_wellformed(spec):
+    ops = list(SyntheticWorkload(spec, seed=7))
+    assert len(ops) == spec.num_mem_ops
+    for gap, addr, is_write, dep in ops:
+        assert gap >= 0
+        assert addr >= 0
+        assert addr % 64 == 0  # line-aligned accesses
+        assert not (is_write and dep)
+        # Hot-region addresses stay in the footprint; cold ones beyond.
+        if addr < spec.footprint_pages * 4096:
+            pass
+        else:
+            assert spec.cold_frac > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec_strategy, st.integers(0, 3))
+def test_trace_deterministic(spec, core):
+    a = list(SyntheticWorkload(spec, seed=5, core_id=core))
+    b = list(SyntheticWorkload(spec, seed=5, core_id=core))
+    assert a == b
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec_strategy)
+def test_line_offsets_within_page(spec):
+    """Run construction never generates a line index past the page end."""
+    for _, addr, _, _ in SyntheticWorkload(spec, seed=3):
+        assert 0 <= (addr >> 6) & 63 <= 63
+        assert addr & 63 == 0

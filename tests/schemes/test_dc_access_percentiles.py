@@ -1,0 +1,22 @@
+"""DC access-time tail latency across schemes."""
+
+from repro.system.builder import build_machine
+from repro.workloads.presets import workload
+
+
+def test_percentiles_exposed(tiny_cfg):
+    spec = workload("bfs", dc_pages=tiny_cfg.dc_pages,
+                    num_cores=tiny_cfg.num_cores, num_mem_ops=1200)
+    r = build_machine("nomad", cfg=tiny_cfg, spec=spec).run()
+    assert r.dc_access_p95 >= r.dc_access_time * 0.3
+    assert r.dc_access_p95 > 0
+
+
+def test_scheme_percentile_api(tiny_cfg):
+    spec = workload("bfs", dc_pages=tiny_cfg.dc_pages,
+                    num_cores=tiny_cfg.num_cores, num_mem_ops=800)
+    m = build_machine("ideal", cfg=tiny_cfg, spec=spec)
+    m.run()
+    p50 = m.scheme.dc_access_time_percentile(50)
+    p99 = m.scheme.dc_access_time_percentile(99)
+    assert p50 <= p99

@@ -1,0 +1,52 @@
+"""Builder and scheme registry."""
+
+import pytest
+
+from repro.config.schemes import NomadConfig
+from repro.engine.simulator import Simulator
+from repro.system.builder import SCHEME_REGISTRY, build_machine, make_scheme
+
+
+def test_registry_contents():
+    assert set(SCHEME_REGISTRY) == {
+        "baseline", "tid", "tdc", "nomad", "ideal", "unthrottled"
+    }
+
+
+def test_make_scheme_unknown_raises(tiny_cfg):
+    with pytest.raises(KeyError):
+        make_scheme("magic", Simulator(), tiny_cfg)
+
+
+def test_make_scheme_passes_nomad_cfg(tiny_cfg):
+    s = make_scheme("nomad", Simulator(), tiny_cfg, nomad_cfg=NomadConfig(num_pcshrs=2))
+    assert len(s.backend.pcshrs) == 2
+
+
+def test_build_machine_by_name(tiny_cfg):
+    m = build_machine("baseline", workload_name="sop", cfg=tiny_cfg, num_mem_ops=200)
+    r = m.run()
+    assert r.workload == "sop"
+
+
+def test_build_machine_requires_workload(tiny_cfg):
+    with pytest.raises(ValueError):
+        build_machine("baseline", cfg=tiny_cfg)
+
+
+def test_prewarm_populates_dc(tiny_cfg):
+    m = build_machine("tdc", workload_name="sop", cfg=tiny_cfg, num_mem_ops=100)
+    # sop is zipf: its hot set should be pre-cached.
+    assert m.scheme.frontend.free_queue.allocated > 0
+
+
+def test_no_prewarm(tiny_cfg):
+    m = build_machine("tdc", workload_name="sop", cfg=tiny_cfg, num_mem_ops=100,
+                      prewarm=False)
+    assert m.scheme.frontend.free_queue.allocated == 0
+
+
+def test_default_config_is_scaled():
+    m = build_machine("baseline", workload_name="sop", num_mem_ops=50)
+    assert m.cfg.num_cores == 4
+    assert m.cfg.dc_pages == 16384

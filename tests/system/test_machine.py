@@ -1,0 +1,70 @@
+"""Machine assembly and result extraction."""
+
+import pytest
+
+from repro.config.system import scaled_system
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import WorkloadSpec
+
+
+def small_spec(n=800):
+    return WorkloadSpec(name="unit", footprint_pages=128, mem_ratio=0.2,
+                        page_select="zipf", zipf_skew=2.0, mean_run_lines=8,
+                        num_mem_ops=n)
+
+
+def test_run_produces_result(tiny_cfg):
+    m = build_machine("baseline", cfg=tiny_cfg, spec=small_spec())
+    r = m.run()
+    assert r.scheme == "baseline"
+    assert r.workload == "unit"
+    assert r.runtime_cycles > 0
+    assert r.instructions > 0
+    assert 0 < r.ipc < tiny_cfg.core.width * tiny_cfg.num_cores
+
+
+def test_per_core_ipc_length(tiny_cfg):
+    r = build_machine("ideal", cfg=tiny_cfg, spec=small_spec()).run()
+    assert len(r.per_core_ipc) == tiny_cfg.num_cores
+    assert all(ipc > 0 for ipc in r.per_core_ipc)
+
+
+def test_stall_breakdown_keys(tiny_cfg):
+    r = build_machine("tdc", cfg=tiny_cfg, spec=small_spec()).run()
+    assert set(r.stall_breakdown) == {"os", "window", "store", "dep", "tlb"}
+    assert all(0 <= v <= 1 for v in r.stall_breakdown.values())
+
+
+def test_speedup_over(tiny_cfg):
+    base = build_machine("baseline", cfg=tiny_cfg, spec=small_spec()).run()
+    ideal = build_machine("ideal", cfg=tiny_cfg, spec=small_spec()).run()
+    assert ideal.speedup_over(base) == pytest.approx(ideal.ipc / base.ipc)
+
+
+def test_trace_count_mismatch_rejected(tiny_cfg):
+    from repro.engine.simulator import Simulator
+    from repro.system.machine import Machine
+    from repro.system.builder import make_scheme
+    sim = Simulator()
+    scheme = make_scheme("baseline", sim, tiny_cfg)
+    with pytest.raises(ValueError):
+        Machine(tiny_cfg, scheme, traces=[[]], workload_name="x")
+
+
+def test_rmhb_zero_for_baseline(tiny_cfg):
+    r = build_machine("baseline", cfg=tiny_cfg, spec=small_spec()).run()
+    assert r.rmhb_gbps == 0
+
+
+def test_nomad_result_has_scheme_metrics(tiny_cfg):
+    # prewarm off so the zipf hot set actually generates fills.
+    r = build_machine("nomad", cfg=tiny_cfg, spec=small_spec(), prewarm=False).run()
+    assert r.tag_mgmt_latency is not None
+    assert r.buffer_hit_ratio is not None
+    assert r.page_fills > 0
+
+
+def test_bytes_by_class_exposed(tiny_cfg):
+    r = build_machine("nomad", cfg=tiny_cfg, spec=small_spec(), prewarm=False).run()
+    assert "FILL" in r.hbm_bytes_by_class
+    assert r.hbm_bandwidth_gbps > 0

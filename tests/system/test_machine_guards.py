@@ -1,0 +1,30 @@
+"""Run-loop guard rails."""
+
+import pytest
+
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import WorkloadSpec
+
+
+def test_max_events_guard_raises(tiny_cfg):
+    spec = WorkloadSpec(name="t", footprint_pages=512, mem_ratio=0.5,
+                        page_select="uniform", mean_run_lines=2,
+                        num_mem_ops=2000)
+    m = build_machine("nomad", cfg=tiny_cfg, spec=spec)
+    with pytest.raises(RuntimeError, match="stalled"):
+        m.run(max_events=50)  # far too few events to finish
+
+
+def test_result_before_run_is_mostly_empty(tiny_cfg):
+    spec = WorkloadSpec(name="t", footprint_pages=64, num_mem_ops=10)
+    m = build_machine("baseline", cfg=tiny_cfg, spec=spec)
+    r = m.result()
+    assert r.instructions == 0
+    assert r.runtime_cycles == 1  # clamped
+
+
+def test_rerun_protection_not_needed_for_fresh_machines(tiny_cfg):
+    spec = WorkloadSpec(name="t", footprint_pages=64, num_mem_ops=50)
+    a = build_machine("baseline", cfg=tiny_cfg, spec=spec).run()
+    b = build_machine("baseline", cfg=tiny_cfg, spec=spec).run()
+    assert a.runtime_cycles == b.runtime_cycles

@@ -1,0 +1,47 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cact" in out
+    assert "nomad" in out
+
+
+def test_run(capsys):
+    rc = main(["run", "--scheme", "baseline", "--workload", "sop",
+               "--ops", "200", "--cores", "2", "--dc-mb", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "ipc" in out
+
+
+def test_run_nomad_with_pcshrs(capsys):
+    rc = main(["run", "--scheme", "nomad", "--workload", "sop",
+               "--ops", "200", "--cores", "2", "--dc-mb", "8",
+               "--pcshrs", "4"])
+    assert rc == 0
+    assert "tag management latency" in capsys.readouterr().out
+
+
+def test_compare(capsys):
+    rc = main(["compare", "--workload", "sop", "--ops", "200",
+               "--cores", "2", "--dc-mb", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for scheme in ("baseline", "tid", "tdc", "nomad", "ideal"):
+        assert scheme in out
+
+
+def test_invalid_scheme_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--scheme", "bogus", "--workload", "sop"])

@@ -1,0 +1,51 @@
+"""Page tables and the extended PTE."""
+
+from repro.vm.descriptors import DescriptorTables
+from repro.vm.page_table import PTE, PageTable
+
+
+def test_lazy_allocation():
+    t = PageTable(0, DescriptorTables())
+    assert t.lookup(5) is None
+    pte = t.get_or_create(5)
+    assert t.lookup(5) is pte
+    assert t.pages_touched == 1
+
+
+def test_distinct_frames_per_page():
+    tables = DescriptorTables()
+    t = PageTable(0, tables)
+    a = t.get_or_create(1)
+    b = t.get_or_create(2)
+    assert a.page_frame_num != b.page_frame_num
+
+
+def test_get_or_create_idempotent():
+    t = PageTable(0, DescriptorTables())
+    a = t.get_or_create(1)
+    b = t.get_or_create(1)
+    assert a is b
+    assert len(t) == 1
+
+
+def test_tag_miss_predicate():
+    pte = PTE(page_frame_num=3)
+    assert pte.is_tag_miss  # cacheable, uncached
+    pte.cached = True
+    assert not pte.is_tag_miss
+    pte.cached = False
+    pte.non_cacheable = True
+    assert not pte.is_tag_miss
+
+
+def test_frames_unique_across_cores():
+    tables = DescriptorTables()
+    t0, t1 = PageTable(0, tables), PageTable(1, tables)
+    assert t0.get_or_create(7).page_frame_num != t1.get_or_create(7).page_frame_num
+
+
+def test_entries_iteration():
+    t = PageTable(0, DescriptorTables())
+    t.get_or_create(1)
+    t.get_or_create(2)
+    assert sorted(vpn for vpn, _ in t.entries()) == [1, 2]

@@ -1,0 +1,49 @@
+"""TLB directory maintained end-to-end through a NOMAD scheme."""
+
+from repro.config.schemes import NomadConfig
+from repro.core.nomad import NomadScheme
+from repro.engine.simulator import Simulator
+
+
+def cached_pte(sim, scheme, vpn, core=0):
+    out = []
+    scheme.translate_miss(core, vpn, sim.now, lambda t, p: out.append(p),
+                          addr=vpn * 4096)
+    sim.run()
+    return out[-1]
+
+
+def test_directory_set_while_resident(tiny_cfg):
+    sim = Simulator()
+    s = NomadScheme(sim, tiny_cfg, NomadConfig())
+    pte = cached_pte(sim, s, 3)
+    cpd = s.frontend.cpds[pte.page_frame_num]
+    assert cpd.tlb_directory & 1
+
+
+def test_directory_cleared_on_tlb_eviction(tiny_cfg):
+    sim = Simulator()
+    s = NomadScheme(sim, tiny_cfg, NomadConfig())
+    pte = cached_pte(sim, s, 3)
+    cfn = pte.page_frame_num
+    # Thrash the TLB past its L2 capacity with non-cacheable-page walks
+    # (cacheable uncached pages would trap to the tag miss handler).
+    for vpn in range(100, 100 + tiny_cfg.tlb.l2_entries + 8):
+        s.page_tables[0].get_or_create(vpn).non_cacheable = True
+        s.peek_translate(0, vpn)
+    assert s.frontend.cpds[cfn].tlb_directory == 0
+
+
+def test_two_cores_two_directory_bits(tiny_cfg):
+    sim = Simulator()
+    s = NomadScheme(sim, tiny_cfg, NomadConfig())
+    pte0 = cached_pte(sim, s, 3, core=0)
+    cfn = pte0.page_frame_num
+    # Core 1 maps the same physical frame (shared page).
+    pfn = s.frontend.cpds[cfn].pfn
+    s.tables.share(pfn, 1, 7)
+    from repro.vm.page_table import PTE
+    pte1 = PTE(page_frame_num=cfn, cached=True)
+    s.page_tables[1]._entries[7] = pte1
+    s.tlbs[1].install(7, pte1)
+    assert s.frontend.cpds[cfn].tlb_directory == 0b11

@@ -1,0 +1,92 @@
+"""Table I presets."""
+
+import pytest
+
+from repro.workloads.presets import (
+    CLASS_OF,
+    PRESETS,
+    WORKLOAD_CLASSES,
+    warm_pages,
+    workload,
+    workloads_in_class,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def test_fifteen_benchmarks():
+    assert len(PRESETS) == 15
+
+
+def test_all_paper_names_present():
+    names = {"cact", "sssp", "bwav", "les", "libq", "gems", "bfs",
+             "cc", "lbm", "mcf", "bc", "ast", "pr", "sop", "tc"}
+    assert set(PRESETS) == names
+
+
+def test_classes_partition_benchmarks():
+    total = sum(len(workloads_in_class(k)) for k in WORKLOAD_CLASSES)
+    assert total == 15
+
+
+def test_class_sizes_match_table1():
+    assert len(workloads_in_class("excess")) == 3
+    assert len(workloads_in_class("tight")) == 4
+    assert len(workloads_in_class("loose")) == 4
+    assert len(workloads_in_class("few")) == 4
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(ValueError):
+        workloads_in_class("medium")
+
+
+def test_workload_instantiation():
+    spec = workload("cact", dc_pages=16384, num_cores=4, num_mem_ops=100)
+    assert spec.name == "cact"
+    assert spec.footprint_pages == int(3.0 * 4096)
+    assert spec.num_mem_ops == 100
+    # Instantiable as a trace.
+    assert len(list(SyntheticWorkload(spec))) == 100
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        workload("nope")
+
+
+def test_footprint_scales_with_dc():
+    big = workload("cact", dc_pages=16384, num_cores=4)
+    small = workload("cact", dc_pages=8192, num_cores=4)
+    assert big.footprint_pages == 2 * small.footprint_pages
+
+
+def test_excess_class_exceeds_share():
+    for name in workloads_in_class("excess"):
+        if PRESETS[name].page_select == "stream":
+            spec = workload(name, dc_pages=16384, num_cores=4)
+            assert spec.footprint_pages > 4096
+
+
+def test_warm_pages_stream_is_empty():
+    spec = workload("cact")
+    assert warm_pages(spec, 4096) == []
+
+
+def test_warm_pages_zipf_bounded():
+    spec = workload("pr")
+    pages = warm_pages(spec, 4096)
+    assert 0 < len(pages) <= 4096
+    assert all(0 <= p < spec.footprint_pages for p in pages)
+
+
+def test_warm_pages_cover_hot_ranks():
+    spec = workload("tc")
+    pages = warm_pages(spec, 4096)
+    # rank 0 (the hottest page) must be warm.
+    from repro.workloads.synthetic import _SCATTER_PRIME
+    assert int(0 * _SCATTER_PRIME) % spec.footprint_pages in pages
+
+
+def test_bursty_flags():
+    assert PRESETS["libq"].bursty and PRESETS["gems"].bursty
+    assert not PRESETS["cact"].bursty

@@ -1,0 +1,137 @@
+"""Synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+
+
+def spec(**kw):
+    base = dict(name="t", footprint_pages=256, num_mem_ops=2000)
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+def collect(s, seed=1, core=0):
+    return list(SyntheticWorkload(s, seed=seed, core_id=core))
+
+
+def test_emits_requested_ops():
+    ops = collect(spec(num_mem_ops=777))
+    assert len(ops) == 777
+
+
+def test_deterministic_per_seed():
+    a = collect(spec(), seed=3)
+    b = collect(spec(), seed=3)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    assert collect(spec(), seed=1) != collect(spec(), seed=2)
+
+
+def test_different_cores_differ():
+    assert collect(spec(), core=0) != collect(spec(), core=1)
+
+
+def test_addresses_within_footprint():
+    ops = collect(spec(footprint_pages=64, cold_frac=0.0))
+    assert all(0 <= addr < 64 * 4096 for _, addr, _, _ in ops)
+
+
+def test_cold_pages_outside_hot_footprint():
+    ops = collect(spec(cold_frac=0.5))
+    cold = [a for _, a, _, _ in ops if a >= 256 * 4096]
+    assert cold, "cold region must be visited"
+    # Cold pages never repeat.
+    cold_pages = [a >> 12 for a in cold]
+    # runs within a cold page repeat the page; distinct pages strictly increase
+    assert sorted(set(cold_pages)) == sorted(dict.fromkeys(cold_pages))
+
+
+def test_write_fraction_approximate():
+    ops = collect(spec(write_frac=0.5, num_mem_ops=5000))
+    frac = sum(w for _, _, w, _ in ops) / len(ops)
+    assert 0.4 < frac < 0.6
+
+
+def test_dep_only_on_loads():
+    ops = collect(spec(dep_frac=0.5, write_frac=0.5))
+    assert all(not (w and d) for _, _, w, d in ops)
+
+
+def test_mem_ratio_sets_mean_gap():
+    ops = collect(spec(mem_ratio=0.25, num_mem_ops=8000))
+    mean_gap = sum(g for g, _, _, _ in ops) / len(ops)
+    assert 2.0 < mean_gap < 4.0  # (1-r)/r = 3
+
+
+def test_stream_visits_sequential_pages():
+    ops = collect(spec(page_select="stream", mean_run_lines=64, num_mem_ops=640))
+    pages = [a >> 12 for _, a, _, _ in ops]
+    distinct = list(dict.fromkeys(pages))
+    diffs = {(b - a) % 256 for a, b in zip(distinct, distinct[1:])}
+    assert diffs == {1}
+
+
+def test_stream_run_covers_whole_page_when_64():
+    ops = collect(spec(page_select="stream", mean_run_lines=64, num_mem_ops=256))
+    lines = [(a >> 6) & 63 for _, a, _, _ in ops]
+    assert lines[:64] == list(range(64))
+
+
+def test_reuse_revisits_recent_pages():
+    ops = collect(spec(page_select="stream", reuse_frac=0.5, reuse_window=16,
+                       mean_run_lines=1, num_mem_ops=4000))
+    pages = [a >> 12 for _, a, _, _ in ops]
+    revisits = len(pages) - len(set(pages))
+    assert revisits > 500
+
+
+def test_zipf_concentrates_on_hot_pages():
+    ops = collect(spec(page_select="zipf", zipf_skew=4.0, mean_run_lines=1,
+                       num_mem_ops=8000))
+    pages = [a >> 12 for _, a, _, _ in ops]
+    top = max(pages, key=pages.count)
+    # Far beyond uniform (8000/256 ~ 31 per page).
+    assert pages.count(top) > 100
+
+
+def test_uniform_spreads():
+    ops = collect(spec(page_select="uniform", mean_run_lines=1, num_mem_ops=8000))
+    pages = {a >> 12 for _, a, _, _ in ops}
+    assert len(pages) > 200
+
+
+def test_bursty_gap_structure():
+    quiet = spec(bursty=False, mem_ratio=0.2, num_mem_ops=16000)
+    burst = spec(bursty=True, mem_ratio=0.2, burst_idle_multiplier=10,
+                 num_mem_ops=16000)
+    g_quiet = sum(g for g, _, _, _ in collect(quiet))
+    g_burst = sum(g for g, _, _, _ in collect(burst))
+    assert g_burst > 2 * g_quiet
+
+
+def test_len_reports_num_ops():
+    assert len(SyntheticWorkload(spec(num_mem_ops=123))) == 123
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError):
+        SyntheticWorkload(spec(footprint_pages=0))
+    with pytest.raises(ValueError):
+        SyntheticWorkload(spec(mem_ratio=0.0))
+    with pytest.raises(ValueError):
+        SyntheticWorkload(spec(mean_run_lines=65))
+
+
+def test_unknown_selector_rejected():
+    with pytest.raises(ValueError):
+        collect(spec(page_select="mystery"))
+
+
+def test_scaled_override():
+    s = spec().scaled(num_mem_ops=10)
+    assert s.num_mem_ops == 10
+    assert s.footprint_pages == 256

@@ -1,0 +1,64 @@
+"""Trace archive round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.presets import workload
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.tracefile import (
+    ArchivedTrace,
+    load_traces,
+    materialize,
+    save_traces,
+)
+
+
+def test_materialize_columns():
+    trace = [(1, 64, False, True), (2, 128, True, False)]
+    gaps, addrs, writes, deps = materialize(trace)
+    assert list(gaps) == [1, 2]
+    assert list(addrs) == [64, 128]
+    assert list(writes) == [False, True]
+    assert list(deps) == [True, False]
+
+
+def test_roundtrip(tmp_path):
+    spec = workload("sop", num_mem_ops=300)
+    traces = [SyntheticWorkload(spec, seed=1, core_id=i) for i in range(2)]
+    expected = [list(SyntheticWorkload(spec, seed=1, core_id=i)) for i in range(2)]
+    path = tmp_path / "t.npz"
+    save_traces(path, traces)
+    loaded = load_traces(path)
+    assert len(loaded) == 2
+    for got, want in zip(loaded, expected):
+        assert list(got) == want
+        assert len(got) == len(want)
+
+
+def test_archived_trace_reiterable(tmp_path):
+    t = ArchivedTrace(np.array([1]), np.array([64]),
+                      np.array([True]), np.array([False]))
+    assert list(t) == list(t) == [(1, 64, True, False)]
+
+
+def test_column_length_mismatch():
+    with pytest.raises(ValueError):
+        ArchivedTrace(np.array([1, 2]), np.array([64]),
+                      np.array([True]), np.array([False]))
+
+
+def test_archived_trace_runs_on_machine(tmp_path):
+    from repro.config.system import scaled_system
+    from repro.engine.simulator import Simulator
+    from repro.system.builder import make_scheme
+    from repro.system.machine import Machine
+
+    cfg = scaled_system(num_cores=2, dc_megabytes=8)
+    spec = workload("sop", dc_pages=cfg.dc_pages, num_cores=2, num_mem_ops=200)
+    path = tmp_path / "t.npz"
+    save_traces(path, [SyntheticWorkload(spec, 1, i) for i in range(2)])
+    traces = load_traces(path)
+    sim = Simulator()
+    machine = Machine(cfg, make_scheme("nomad", sim, cfg), traces, "archived")
+    result = machine.run()
+    assert result.instructions > 0

@@ -1,0 +1,52 @@
+"""The steady-state warmup plan."""
+
+from repro.workloads.presets import _DEAD_PAGE_BASE, warm_plan, workload
+
+
+def test_stream_plan_is_trailing_window():
+    spec = workload("cact", dc_pages=16384, num_cores=4)
+    plan = warm_plan(spec, 4096)
+    pages = [vpn for vpn, _ in plan]
+    assert len(pages) == 4096
+    # The youngest warmed page is the one just behind the stream start.
+    assert pages[-1] == spec.footprint_pages - 1
+
+
+def test_zipf_plan_hot_pages_youngest():
+    spec = workload("tc", dc_pages=16384, num_cores=4)
+    plan = warm_plan(spec, 4096)
+    pages = [vpn for vpn, _ in plan]
+    # Dead filler (if any) comes first; the hottest page is last.
+    from repro.workloads.synthetic import _SCATTER_PRIME
+    hottest = int(0 * _SCATTER_PRIME) % spec.footprint_pages
+    assert pages[-1] == hottest
+
+
+def test_zipf_plan_fills_share_with_dead_pages():
+    spec = workload("sop", dc_pages=16384, num_cores=4)  # footprint < share
+    plan = warm_plan(spec, 4096)
+    assert len(plan) == 4096
+    dead = [vpn for vpn, _ in plan if vpn >= _DEAD_PAGE_BASE]
+    assert dead, "small footprints need dead filler to reach steady state"
+
+
+def test_dirty_fraction_tracks_write_frac():
+    spec = workload("lbm", dc_pages=16384, num_cores=4)  # write_frac 0.45
+    plan = warm_plan(spec, 4096)
+    frac = sum(d for _, d in plan) / len(plan)
+    assert 0.3 < frac < 0.6
+
+
+def test_plan_deterministic():
+    spec = workload("cact", dc_pages=16384, num_cores=4)
+    assert warm_plan(spec, 4096) == warm_plan(spec, 4096)
+
+
+def test_machine_starts_at_steady_state():
+    from repro.system.builder import build_machine
+    m = build_machine("nomad", workload_name="cact", num_mem_ops=10)
+    fq = m.scheme.frontend.free_queue
+    # Warm fills consumed the whole DC; warm eviction keeps the free
+    # count pinned near the eviction threshold.
+    assert fq.num_free <= m.scheme.frontend.eviction_threshold + \
+        m.scheme.frontend.eviction_batch

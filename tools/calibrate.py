@@ -1,0 +1,11 @@
+"""Calibration helper: measure RMHB/MPMS of the current presets under
+the unthrottled configuration, plus the scheme ordering on key loads."""
+import sys
+from repro.harness import experiment_table1, format_table
+from repro.harness.runner import RunConfig, clear_cache
+
+if __name__ == "__main__":
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    rows = experiment_table1(RunConfig(scheme="unthrottled", workload="cact", num_mem_ops=ops))
+    print(format_table(rows, title="Table I"))
+    print("match:", sum(r["paper_class"] == r["measured_class"] for r in rows), "/", len(rows))
