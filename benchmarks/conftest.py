@@ -5,6 +5,12 @@ trace length so the in-process result cache is shared across figures
 (Fig. 9, 10 and 11 reuse the same scheme x workload runs, exactly as the
 paper derives them from one simulation campaign).
 
+The whole session additionally runs against a persistent
+:class:`repro.campaign.ResultStore` under ``benchmarks/results/.store``,
+so re-running the figure suite (or any subset of it) after the first
+pass is served from disk instead of re-simulating.  Delete that
+directory -- or bump ``repro.__version__`` -- to force fresh runs.
+
 Results are printed (run with ``-s`` to see them) and written to
 ``benchmarks/results/``.
 """
@@ -13,7 +19,8 @@ import pathlib
 
 import pytest
 
-from repro.harness.runner import RunConfig
+from repro.campaign import ResultStore
+from repro.harness.runner import RunConfig, cache_stats, set_result_store
 
 # One standard campaign configuration for all figures.
 BENCH_OPS = 6000
@@ -26,6 +33,7 @@ BENCH_BASE = RunConfig(
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+STORE_DIR = RESULTS_DIR / ".store"
 
 
 def emit(name: str, text: str) -> None:
@@ -39,3 +47,14 @@ def emit(name: str, text: str) -> None:
 @pytest.fixture
 def base():
     return BENCH_BASE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _campaign_store():
+    """Serve repeated figure runs from disk across benchmark sessions."""
+    store = ResultStore(STORE_DIR)
+    prev = set_result_store(store)
+    yield store
+    set_result_store(prev)
+    print()
+    print(f"campaign caches: memo {cache_stats()}, store {store.stats()}")

@@ -20,6 +20,7 @@ Quickstart
     print(result.ipc, result.os_stall_ratio)
 """
 
+from repro.campaign import GridSpec, ResultStore, run_campaign
 from repro.config.schemes import BackendTopology, NomadConfig, TDCConfig, TiDConfig
 from repro.config.system import SystemConfig, paper_system, scaled_system
 from repro.core.nomad import IdealScheme, NomadScheme
@@ -38,7 +39,10 @@ __version__ = "1.0.0"
 __all__ = [
     "BackendTopology",
     "BaselineScheme",
+    "GridSpec",
     "IdealScheme",
+    "ResultStore",
+    "run_campaign",
     "Machine",
     "MachineResult",
     "NomadConfig",

@@ -1,0 +1,260 @@
+"""Campaign execution: expand a grid, fan out, merge deterministically.
+
+``run_campaign`` is the one entry point every grid in the repository
+goes through -- ``run_matrix``, ``repro sweep``, ``repro compare`` and
+the figure experiments all submit here.  It
+
+1. expands the :class:`GridSpec` (or accepts an explicit config list),
+2. serves what it can from the in-process memo cache and the persistent
+   :class:`ResultStore`,
+3. runs the remainder serially (``jobs <= 1``) or over a fault-tolerant
+   process pool (``jobs > 1``), with per-campaign stall timeout and
+   bounded retry of crashed/hung workers,
+4. merges results back in grid order and reports a
+   :class:`CampaignSummary` (completed/cached/failed + cache counters)
+   instead of aborting the whole grid on one bad run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign import pool as _pool
+from repro.campaign.grid import GridSpec
+from repro.harness import runner
+from repro.harness.runner import RunConfig
+from repro.system.machine import MachineResult
+
+# Record statuses.
+COMPLETED = "completed"  # freshly simulated this campaign
+CACHED = "cached"  # served from the memo cache or the disk store
+FAILED = "failed"  # simulation raised, or worker crashed out of retries
+TIMEOUT = "timeout"  # hung out of retries
+
+
+class CampaignError(RuntimeError):
+    """Raised when a caller needs every run and some failed."""
+
+
+@dataclass
+class RunRecord:
+    """One grid point's fate."""
+
+    index: int
+    config: RunConfig
+    status: str
+    result: Optional[MachineResult] = None
+    source: str = ""  # "memo" | "store" | "simulated"
+    error: str = ""
+    attempts: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "status": self.status,
+            "source": self.source,
+            "error": self.error,
+            "attempts": self.attempts,
+            "result": self.result.to_dict() if self.result else None,
+        }
+
+
+@dataclass
+class CampaignSummary:
+    """What the campaign did, for humans and for ``--json``."""
+
+    total: int = 0
+    completed: int = 0
+    cached: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+    memo: Dict[str, int] = field(default_factory=dict)
+    store: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "elapsed_s": self.elapsed_s,
+            "memo": dict(self.memo),
+            "store": dict(self.store),
+        }
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.total} runs: {self.completed} simulated, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"in {self.elapsed_s:.2f}s"
+        ]
+        if self.memo:
+            parts.append(
+                f"memo cache: {self.memo.get('hits', 0)} hits / "
+                f"{self.memo.get('misses', 0)} misses "
+                f"({self.memo.get('size', 0)}/{self.memo.get('maxsize', 0)} entries)"
+            )
+        if self.store:
+            parts.append(
+                f"result store: {self.store.get('hits', 0)} hits / "
+                f"{self.store.get('misses', 0)} misses / "
+                f"{self.store.get('writes', 0)} writes at {self.store.get('root', '')}"
+            )
+        return "\n".join(parts)
+
+
+class CampaignResult:
+    """Ordered records plus the summary."""
+
+    def __init__(self, records: List[RunRecord], summary: CampaignSummary):
+        self.records = records
+        self.summary = summary
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status in (COMPLETED, CACHED) for r in self.records)
+
+    def failures(self) -> List[RunRecord]:
+        return [r for r in self.records if r.status not in (COMPLETED, CACHED)]
+
+    def results(self) -> List[Optional[MachineResult]]:
+        return [r.result for r in self.records]
+
+    def as_matrix(self) -> Dict[Tuple[str, str], MachineResult]:
+        """``{(scheme, workload): result}``; raises on failures/collisions."""
+        bad = self.failures()
+        if bad:
+            detail = "; ".join(
+                f"{r.config.scheme}/{r.config.workload}: {r.status} ({r.error})"
+                for r in bad[:5]
+            )
+            raise CampaignError(f"{len(bad)} campaign run(s) failed: {detail}")
+        out: Dict[Tuple[str, str], MachineResult] = {}
+        for rec in self.records:
+            key = (rec.config.scheme, rec.config.workload)
+            if key in out:
+                raise CampaignError(
+                    f"grid has multiple runs per {key}; use .records instead "
+                    f"of .as_matrix()"
+                )
+            out[key] = rec.result
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "runs": [r.to_dict() for r in self.records],
+            "summary": self.summary.to_dict(),
+        }
+
+
+def _simulate_payload(payload: dict) -> dict:
+    """Pool worker: dict in, dict out (keeps transport JSON-clean)."""
+    cfg = RunConfig.from_dict(payload)
+    return runner.run_workload(cfg).to_dict()
+
+
+def run_campaign(
+    grid: Union[GridSpec, Iterable[RunConfig]],
+    jobs: int = 1,
+    store=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> CampaignResult:
+    """Execute every run of *grid*; never raises for individual runs.
+
+    ``store=None`` uses the globally installed result store (if any);
+    pass a :class:`ResultStore` to use -- and install for the duration --
+    a specific one.
+    """
+    t0 = time.monotonic()
+    configs = grid.expand() if isinstance(grid, GridSpec) else list(grid)
+    records: List[Optional[RunRecord]] = [None] * len(configs)
+
+    effective_store = store if store is not None else runner.get_result_store()
+    prev_store = runner.set_result_store(effective_store)
+    try:
+        pending: List[int] = []
+        for i, cfg in enumerate(configs):
+            result, source = runner.cached_result(cfg)
+            if result is not None:
+                records[i] = RunRecord(i, cfg, CACHED, result, source=source)
+            else:
+                pending.append(i)
+
+        if jobs <= 1 or len(pending) <= 1:
+            for i in pending:
+                cfg = configs[i]
+                try:
+                    result = runner.run_workload(cfg)
+                    records[i] = RunRecord(
+                        i, cfg, COMPLETED, result, source="simulated", attempts=1
+                    )
+                except Exception as exc:
+                    records[i] = RunRecord(
+                        i, cfg, FAILED,
+                        error=f"{type(exc).__name__}: {exc}", attempts=1,
+                    )
+        elif pending:
+            payloads = [configs[i].to_dict() for i in pending]
+            outcomes = _pool.map_with_retries(
+                _simulate_payload, payloads,
+                jobs=jobs, timeout=timeout, retries=retries,
+            )
+            for outcome, i in zip(outcomes, pending):
+                cfg = configs[i]
+                if outcome.ok:
+                    result = MachineResult.from_dict(outcome.value)
+                    runner.prime(cfg, result)
+                    records[i] = RunRecord(
+                        i, cfg, COMPLETED, result,
+                        source="simulated", attempts=outcome.attempts,
+                    )
+                else:
+                    status = TIMEOUT if outcome.status == _pool.TIMEOUT else FAILED
+                    records[i] = RunRecord(
+                        i, cfg, status,
+                        error=outcome.error, attempts=outcome.attempts,
+                    )
+    finally:
+        runner.set_result_store(prev_store)
+
+    done = [r for r in records if r is not None]
+    summary = CampaignSummary(
+        total=len(done),
+        completed=sum(r.status == COMPLETED for r in done),
+        cached=sum(r.status == CACHED for r in done),
+        failed=sum(r.status in (FAILED, TIMEOUT) for r in done),
+        elapsed_s=time.monotonic() - t0,
+        memo=runner.cache_stats(),
+        store=effective_store.stats() if effective_store is not None else {},
+    )
+    return CampaignResult(done, summary)
+
+
+def speedup_matrix(
+    schemes: Sequence[str],
+    workloads: Sequence[str],
+    base: Optional[RunConfig] = None,
+    baseline: str = "baseline",
+    jobs: int = 1,
+    store=None,
+) -> Dict[Tuple[str, str], Tuple[MachineResult, float]]:
+    """The shared scheme-comparison helper.
+
+    Runs ``[baseline] + schemes`` on every workload through the campaign
+    layer and returns ``{(scheme, workload): (result, ipc_rel)}`` where
+    ``ipc_rel`` is IPC relative to *baseline* on the same workload.
+    Both ``repro compare`` and the Fig. 9 experiment build their
+    baseline-relative columns from this instead of hand-rolled loops.
+    """
+    ordered = list(dict.fromkeys([baseline, *schemes]))
+    matrix = runner.run_matrix(ordered, workloads, base, jobs=jobs, store=store)
+    out: Dict[Tuple[str, str], Tuple[MachineResult, float]] = {}
+    for wl in workloads:
+        ref = matrix[(baseline, wl)]
+        for scheme in ordered:
+            result = matrix[(scheme, wl)]
+            out[(scheme, wl)] = (result, result.speedup_over(ref))
+    return out

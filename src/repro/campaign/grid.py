@@ -1,0 +1,123 @@
+"""Declarative sweep grids.
+
+A :class:`GridSpec` names the schemes, the workloads, and any number of
+parameter *axes* (``num_pcshrs``, ``topology``, ``dc_megabytes``, ...)
+and expands to the concrete :class:`RunConfig` list in a deterministic
+order: workload-major, then scheme, then axes in declaration order --
+the same order the old serial loops produced, so campaign results merge
+back into figure rows byte-for-byte identically.
+
+Axes route themselves: a name that is a ``RunConfig`` field overrides
+the run directly; a name that is a ``NomadConfig``/``TDCConfig``/
+``TiDConfig`` field is applied to the scheme(s) that consume that config
+and ignored for the rest (the resulting duplicate configs are deduped),
+so ``schemes=("baseline", "nomad"), axes={"num_pcshrs": (8, 32)}``
+yields one baseline run and two NOMAD runs per workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.config.schemes import NomadConfig, TDCConfig, TiDConfig
+from repro.harness.runner import RunConfig
+
+# Axis routing tables: axis name -> where the override lands.
+_RUN_FIELDS = frozenset(
+    f.name for f in fields(RunConfig)
+    if f.name not in ("scheme", "workload", "nomad_cfg", "tdc_cfg", "tid_cfg")
+)
+# Which schemes consume which nested config (see builder.make_scheme).
+_SCHEME_CFG: Dict[str, Tuple[str, type]] = {
+    "nomad": ("nomad_cfg", NomadConfig),
+    "tdc": ("tdc_cfg", TDCConfig),
+    "tid": ("tid_cfg", TiDConfig),
+}
+_CFG_FIELDS: Dict[type, frozenset] = {
+    cls: frozenset(f.name for f in fields(cls))
+    for cls in (NomadConfig, TDCConfig, TiDConfig)
+}
+
+AxesLike = Union[Mapping[str, Sequence], Sequence[Tuple[str, Sequence]]]
+
+
+def _known_axis(name: str) -> bool:
+    return name in _RUN_FIELDS or any(name in fs for fs in _CFG_FIELDS.values())
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A scheme x workload x parameter grid, ready to expand."""
+
+    schemes: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    base: RunConfig = field(
+        default_factory=lambda: RunConfig(scheme="baseline", workload="cact")
+    )
+    axes: Tuple[Tuple[str, Tuple], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        axes = self.axes
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        axes = tuple((name, tuple(values)) for name, values in axes)
+        for name, values in axes:
+            if not _known_axis(name):
+                raise ValueError(
+                    f"unknown sweep axis {name!r}: not a RunConfig or "
+                    f"scheme-config field"
+                )
+            if not values:
+                raise ValueError(f"sweep axis {name!r} has no values")
+        object.__setattr__(self, "axes", axes)
+        if not self.schemes:
+            raise ValueError("GridSpec needs at least one scheme")
+        if not self.workloads:
+            raise ValueError("GridSpec needs at least one workload")
+
+    # -- expansion ---------------------------------------------------------
+
+    def _apply_axes(self, cfg: RunConfig, combo: Tuple) -> RunConfig:
+        run_overrides: Dict[str, object] = {}
+        cfg_overrides: Dict[str, object] = {}
+        for (name, _values), value in zip(self.axes, combo):
+            if name in _RUN_FIELDS:
+                run_overrides[name] = value
+            else:
+                cfg_overrides[name] = value
+        if run_overrides:
+            cfg = cfg.with_(**run_overrides)
+        if cfg_overrides:
+            slot = _SCHEME_CFG.get(cfg.scheme)
+            if slot is not None:
+                attr, cls = slot
+                applicable = {
+                    k: v for k, v in cfg_overrides.items() if k in _CFG_FIELDS[cls]
+                }
+                if applicable:
+                    nested = getattr(cfg, attr) or cls()
+                    nested = nested.from_dict({**nested.to_dict(), **applicable})
+                    cfg = cfg.with_(**{attr: nested})
+        return cfg
+
+    def expand(self) -> List[RunConfig]:
+        """The concrete runs, deterministic order, duplicates removed."""
+        value_lists = [values for _name, values in self.axes]
+        out: List[RunConfig] = []
+        seen = set()
+        for wl in self.workloads:
+            for scheme in self.schemes:
+                for combo in itertools.product(*value_lists):
+                    cfg = self.base.with_(scheme=scheme, workload=wl)
+                    cfg = self._apply_axes(cfg, combo)
+                    if cfg not in seen:
+                        seen.add(cfg)
+                        out.append(cfg)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.expand())

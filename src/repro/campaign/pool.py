@@ -1,0 +1,132 @@
+"""Fault-tolerant process-pool fan-out.
+
+:func:`map_with_retries` is the campaign's robustness layer, independent
+of simulation details so it can be tested with injected crashing/hanging
+workers.  Guarantees:
+
+* a worker that **crashes** (the process dies) poisons only its own
+  task: the broken pool is torn down, a fresh one is created, and the
+  affected tasks are resubmitted up to ``retries`` extra times;
+* a worker that **hangs** trips the stall watchdog: if no task completes
+  for ``timeout`` seconds the outstanding worker processes are killed
+  and their tasks retried (then marked ``"timeout"`` once the retry
+  budget is spent);
+* a task that raises an ordinary **exception** is deterministic, so it
+  is recorded as ``"error"`` immediately and not retried;
+* the returned outcomes are in submission order regardless of
+  completion order, keeping campaign merges deterministic.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+OK = "ok"
+ERROR = "error"  # the task itself raised -- deterministic, no retry
+CRASHED = "crashed"  # the worker process died
+TIMEOUT = "timeout"  # stall watchdog fired
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one payload after all attempts."""
+
+    index: int
+    status: str = TIMEOUT
+    value: Any = None
+    error: str = ""
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+def _kill_pool(pool: cf.ProcessPoolExecutor) -> None:
+    """Tear a pool down even if workers are wedged."""
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def map_with_retries(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: int = 2,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[TaskOutcome]:
+    """Apply *fn* to every payload across worker processes.
+
+    ``timeout`` is a stall watchdog: the time with *no* task completion
+    after which outstanding workers are presumed hung.  ``retries`` is
+    the number of *extra* attempts granted to crashed/hung tasks.
+    """
+    n = len(payloads)
+    outcomes = [TaskOutcome(index=i) for i in range(n)]
+    attempts = [0] * n
+    pending = list(range(n))
+
+    while pending:
+        pool = cf.ProcessPoolExecutor(max_workers=max(1, min(jobs, len(pending))))
+        futures = {}
+        for i in pending:
+            attempts[i] += 1
+            futures[pool.submit(fn, payloads[i])] = i
+        retry: List[int] = []
+        broken = False
+        not_done = set(futures)
+        while not_done:
+            done, not_done = cf.wait(not_done, timeout=timeout)
+            if not done:
+                # Watchdog: nothing finished within `timeout` seconds.
+                for fut in not_done:
+                    i = futures[fut]
+                    outcomes[i] = TaskOutcome(
+                        index=i,
+                        status=TIMEOUT,
+                        error=f"no completion within {timeout}s; worker killed",
+                        attempts=attempts[i],
+                    )
+                    retry.append(i)
+                broken = True
+                break
+            for fut in done:
+                i = futures[fut]
+                try:
+                    outcomes[i] = TaskOutcome(
+                        index=i, status=OK, value=fut.result(), attempts=attempts[i]
+                    )
+                except cf.CancelledError:
+                    retry.append(i)  # never ran; resubmit without penalty
+                    attempts[i] -= 1
+                except BrokenProcessPool as exc:
+                    outcomes[i] = TaskOutcome(
+                        index=i,
+                        status=CRASHED,
+                        error=str(exc) or "worker process died",
+                        attempts=attempts[i],
+                    )
+                    retry.append(i)
+                    broken = True
+                except BaseException as exc:  # the task itself raised
+                    outcomes[i] = TaskOutcome(
+                        index=i,
+                        status=ERROR,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempts[i],
+                    )
+        if broken:
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+        # Resubmit crashed/hung tasks that still have attempts left.
+        pending = [i for i in retry if attempts[i] <= retries]
+    return outcomes

@@ -1,0 +1,124 @@
+"""Persistent, content-addressed result store.
+
+Each :class:`MachineResult` is cached on disk under a SHA-256 key of the
+canonical JSON of its serialized :class:`RunConfig` plus a simulator
+version stamp, so
+
+* the same run requested from any process or any later session is a
+  cache hit,
+* any change to the run's parameters -- including nested scheme-config
+  knobs -- changes the key, and
+* bumping the simulator version (``repro.__version__`` by default)
+  invalidates everything at once without deleting files.
+
+Entries carry the full config alongside the result; ``get`` verifies it
+against the requested config so hash collisions or corrupted payloads
+degrade to a miss, never to a wrong result.  Writes are atomic
+(temp file + ``os.replace``), so concurrent campaign workers and
+readers can share one store directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.harness.runner import RunConfig
+from repro.system.machine import MachineResult
+
+
+def default_store_dir() -> Path:
+    """``$REPRO_STORE`` if set, else ``~/.cache/repro-nomad``."""
+    env = os.environ.get("REPRO_STORE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-nomad"
+
+
+def _sim_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+class ResultStore:
+    """Disk cache of ``RunConfig -> MachineResult`` shared across processes."""
+
+    def __init__(self, root: Union[str, Path], version: Optional[str] = None):
+        self.root = Path(root)
+        self.version = version if version is not None else _sim_version()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def key(self, cfg: RunConfig) -> str:
+        canonical = json.dumps(
+            {"config": cfg.to_dict(), "version": self.version},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def path_for(self, cfg: RunConfig) -> Path:
+        key = self.key(cfg)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, cfg: RunConfig) -> Optional[MachineResult]:
+        path = self.path_for(cfg)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("config") != cfg.to_dict():
+                raise ValueError("stored config does not match request")
+            result = MachineResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, cfg: RunConfig, result: MachineResult) -> Path:
+        path = self.path_for(cfg)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": self.version,
+            "config": cfg.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "entries": len(self),
+            "root": str(self.root),
+            "version": self.version,
+        }

@@ -2,19 +2,29 @@
 
     python -m repro run --scheme nomad --workload cact
     python -m repro compare --workload cact --ops 6000
+    python -m repro sweep --schemes tdc,nomad --pcshrs 8,32 --jobs 4
     python -m repro table1
     python -m repro list
 
-Everything prints plain-text tables; the heavy experiment campaign lives
-in ``examples/reproduce_paper.py`` and the benchmark suite.
+Everything prints plain-text tables (or ``--json`` structured output);
+grids go through the :mod:`repro.campaign` layer, which fans out over
+worker processes and serves repeats from the persistent result store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.campaign import (
+    GridSpec,
+    ResultStore,
+    default_store_dir,
+    run_campaign,
+    speedup_matrix,
+)
 from repro.config.schemes import BackendTopology, NomadConfig
 from repro.harness.experiments import experiment_table1
 from repro.harness.reporting import format_table
@@ -35,6 +45,10 @@ def _result_row(res) -> dict:
     }
 
 
+def _emit_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def cmd_run(args) -> int:
     nomad_cfg = None
     if args.pcshrs is not None or args.distributed:
@@ -53,6 +67,9 @@ def cmd_run(args) -> int:
         nomad_cfg=nomad_cfg,
     )
     res = run_workload(cfg)
+    if args.json:
+        _emit_json({"config": cfg.to_dict(), "result": res.to_dict()})
+        return 0
     print(format_table([_result_row(res)], title="run result"))
     if res.tag_mgmt_latency is not None:
         print(f"\ntag management latency: {res.tag_mgmt_latency:.0f} cycles")
@@ -61,19 +78,24 @@ def cmd_run(args) -> int:
     return 0
 
 
+COMPARE_SCHEMES = ("baseline", "tid", "tdc", "nomad", "ideal")
+
+
 def cmd_compare(args) -> int:
+    base = RunConfig(
+        scheme="baseline", workload=args.workload, num_mem_ops=args.ops,
+        num_cores=args.cores, dc_megabytes=args.dc_mb, seed=args.seed,
+    )
+    matrix = speedup_matrix(COMPARE_SCHEMES, [args.workload], base)
     rows = []
-    baseline = None
-    for scheme in ("baseline", "tid", "tdc", "nomad", "ideal"):
-        res = run_workload(RunConfig(
-            scheme=scheme, workload=args.workload, num_mem_ops=args.ops,
-            num_cores=args.cores, dc_megabytes=args.dc_mb, seed=args.seed,
-        ))
-        if scheme == "baseline":
-            baseline = res
+    for scheme in COMPARE_SCHEMES:
+        res, rel = matrix[(scheme, args.workload)]
         row = _result_row(res)
-        row["ipc_rel"] = res.speedup_over(baseline)
+        row["ipc_rel"] = rel
         rows.append(row)
+    if args.json:
+        _emit_json({"config": base.to_dict(), "rows": rows})
+        return 0
     print(format_table(
         rows,
         columns=["scheme", "ipc", "ipc_rel", "dc_access_time", "os_stall",
@@ -83,11 +105,87 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _csv(text: str) -> List[str]:
+    return [t.strip() for t in text.split(",") if t.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(t) for t in _csv(text)]
+
+
+def cmd_sweep(args) -> int:
+    schemes = _csv(args.schemes)
+    workloads = _csv(args.workloads) if args.workloads else sorted(PRESETS)
+    bad = [s for s in schemes if s not in SCHEME_REGISTRY]
+    bad += [w for w in workloads if w not in PRESETS]
+    if bad:
+        print(f"error: unknown schemes/workloads: {', '.join(bad)}",
+              file=sys.stderr)
+        return 2
+
+    axes = []
+    if args.pcshrs:
+        axes.append(("num_pcshrs", _csv_ints(args.pcshrs)))
+    if args.seeds:
+        axes.append(("seed", _csv_ints(args.seeds)))
+    base = RunConfig(
+        scheme=schemes[0], workload=workloads[0], num_mem_ops=args.ops,
+        num_cores=args.cores, dc_megabytes=args.dc_mb, seed=args.seed,
+    )
+    grid = GridSpec(schemes=schemes, workloads=workloads, base=base, axes=axes)
+
+    store = None
+    if not args.no_store:
+        store = ResultStore(args.store or default_store_dir())
+
+    campaign = run_campaign(
+        grid, jobs=args.jobs, store=store,
+        timeout=args.timeout, retries=args.retries,
+    )
+
+    if args.json:
+        _emit_json(campaign.to_dict())
+        return 0 if campaign.ok else 1
+
+    rows = []
+    for rec in campaign.records:
+        row = {
+            "scheme": rec.config.scheme,
+            "workload": rec.config.workload,
+            "seed": rec.config.seed,
+            "status": rec.status,
+            "source": rec.source or "-",
+        }
+        if rec.config.nomad_cfg is not None:
+            row["pcshrs"] = rec.config.nomad_cfg.num_pcshrs
+        if rec.result is not None:
+            row["ipc"] = rec.result.ipc
+            row["dc_access_time"] = rec.result.dc_access_time
+        else:
+            row["error"] = rec.error
+        rows.append(row)
+    columns = ["scheme", "workload", "seed"]
+    if any("pcshrs" in r for r in rows):
+        columns.append("pcshrs")
+    columns += ["status", "source", "ipc", "dc_access_time"]
+    if any(r.get("error") for r in rows):
+        columns.append("error")
+    print(format_table(rows, columns=columns,
+                       title=f"sweep: {len(rows)} runs, --jobs {args.jobs}"))
+    print()
+    print(campaign.summary.describe())
+    return 0 if campaign.ok else 1
+
+
 def cmd_table1(args) -> int:
     base = RunConfig(scheme="unthrottled", workload="cact",
                      num_mem_ops=args.ops, num_cores=args.cores,
                      dc_megabytes=args.dc_mb)
-    print(format_table(experiment_table1(base), title="Table I (measured)"))
+    rows = experiment_table1(base)
+    if args.json:
+        _emit_json({"config": base.to_dict(), "rows": rows})
+        return 0
+    print(format_table(rows, title="Table I (measured)"))
     return 0
 
 
@@ -120,6 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dc-mb", type=int, default=64,
                        help="DRAM cache capacity in MB")
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--json", action="store_true",
+                       help="structured JSON output instead of tables")
 
     p_run = sub.add_parser("run", help="run one (scheme, workload)")
     p_run.add_argument("--scheme", required=True, choices=sorted(SCHEME_REGISTRY))
@@ -134,6 +234,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--workload", required=True, choices=sorted(PRESETS))
     add_common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_sw = sub.add_parser(
+        "sweep", help="run a scheme x workload x parameter grid (campaign)"
+    )
+    p_sw.add_argument("--schemes", default="baseline,tid,tdc,nomad,ideal",
+                      help="comma list of schemes")
+    p_sw.add_argument("--workloads", default=None,
+                      help="comma list of workloads (default: all presets)")
+    p_sw.add_argument("--pcshrs", default=None,
+                      help="comma list -> NOMAD num_pcshrs sweep axis")
+    p_sw.add_argument("--seeds", default=None,
+                      help="comma list -> seed sweep axis")
+    p_sw.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (default 1 = serial)")
+    p_sw.add_argument("--timeout", type=float, default=None,
+                      help="stall watchdog seconds (kill hung workers)")
+    p_sw.add_argument("--retries", type=int, default=1,
+                      help="extra attempts for crashed/hung runs")
+    p_sw.add_argument("--store", default=None,
+                      help="result-store directory "
+                           "(default: $REPRO_STORE or ~/.cache/repro-nomad)")
+    p_sw.add_argument("--no-store", action="store_true",
+                      help="disable the persistent result store")
+    add_common(p_sw)
+    p_sw.set_defaults(func=cmd_sweep)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I")
     add_common(p_t1)

@@ -8,7 +8,7 @@ design (Fig. 15), and centralized vs distributed back-ends (Fig. 16).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 
 
 class BackendTopology(enum.Enum):
@@ -18,9 +18,44 @@ class BackendTopology(enum.Enum):
     DISTRIBUTED = "distributed"
 
 
+class ConfigSerializable:
+    """Stable dict round-trip for the frozen config dataclasses.
+
+    ``to_dict`` output is JSON-compatible (enums become their values) and
+    keyed by field name, so it doubles as the content-hash input for the
+    campaign result store; ``from_dict`` rejects unknown keys so a stale
+    or corrupted payload can never silently half-apply.
+    """
+
+    _ENUM_FIELDS: dict = {}
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        for name in self._ENUM_FIELDS:
+            if d.get(name) is not None:
+                d[name] = d[name].value
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ConfigSerializable":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"{cls.__name__}.from_dict: unknown keys {sorted(unknown)}"
+            )
+        kwargs = dict(d)
+        for name, enum_cls in cls._ENUM_FIELDS.items():
+            if kwargs.get(name) is not None and not isinstance(kwargs[name], enum_cls):
+                kwargs[name] = enum_cls(kwargs[name])
+        return cls(**kwargs)
+
+
 @dataclass(frozen=True)
-class NomadConfig:
+class NomadConfig(ConfigSerializable):
     """NOMAD front-end + back-end parameters (Sections III-C/D)."""
+
+    _ENUM_FIELDS = {"topology": BackendTopology}
 
     num_pcshrs: int = 16
     # Page copy buffers; None means one per PCSHR (the default design).
@@ -56,7 +91,7 @@ class NomadConfig:
 
 
 @dataclass(frozen=True)
-class TDCConfig:
+class TDCConfig(ConfigSerializable):
     """Blocking OS-managed scheme (tagless DRAM cache).
 
     TDC locks only the critical PTEs, so there is no global-mutex
@@ -77,7 +112,7 @@ class TDCConfig:
 
 
 @dataclass(frozen=True)
-class TiDConfig:
+class TiDConfig(ConfigSerializable):
     """HW-based tags-in-DRAM scheme (Unison-style, Section IV-A).
 
     1 KB cache lines in a 4-way set-associative organization with an

@@ -1,6 +1,14 @@
 """Experiment harness: one entry point per paper table/figure."""
 
-from repro.harness.runner import RunConfig, run_workload, run_matrix
+from repro.harness.runner import (
+    RunConfig,
+    cache_stats,
+    clear_cache,
+    get_result_store,
+    run_matrix,
+    run_workload,
+    set_result_store,
+)
 from repro.harness.experiments import (
     experiment_fig02,
     experiment_fig07,
@@ -19,6 +27,10 @@ from repro.harness.reporting import format_table, render_series
 
 __all__ = [
     "RunConfig",
+    "cache_stats",
+    "clear_cache",
+    "get_result_store",
+    "set_result_store",
     "experiment_fig02",
     "experiment_fig07",
     "experiment_fig09",

@@ -41,9 +41,11 @@ def experiment_table1(
 ) -> List[dict]:
     base = _base(base)
     peak = _offpackage_peak(base)
+    workloads = list(workloads or ALL_WORKLOADS)
+    results = run_matrix(["unthrottled"], workloads, base)
     rows = []
-    for name in (workloads or ALL_WORKLOADS):
-        res = run_workload(base.with_(scheme="unthrottled", workload=name))
+    for name in workloads:
+        res = results[("unthrottled", name)]
         rows.append(
             {
                 "workload": name,
@@ -68,11 +70,13 @@ def experiment_fig02(
     base: Optional[RunConfig] = None, workloads: Optional[Sequence[str]] = None
 ) -> List[dict]:
     base = _base(base)
+    workloads = list(workloads or FIG2_WORKLOADS)
+    results = run_matrix(["tdc", "tid", "unthrottled"], workloads, base)
     rows = []
-    for name in (workloads or FIG2_WORKLOADS):
-        tdc = run_workload(base.with_(scheme="tdc", workload=name))
-        tid = run_workload(base.with_(scheme="tid", workload=name))
-        ideal = run_workload(base.with_(scheme="unthrottled", workload=name))
+    for name in workloads:
+        tdc = results[("tdc", name)]
+        tid = results[("tid", name)]
+        ideal = results[("unthrottled", name)]
         rows.append(
             {
                 "workload": name,
@@ -104,17 +108,18 @@ def experiment_fig09(
     workloads: Optional[Sequence[str]] = None,
     schemes: Optional[Sequence[str]] = None,
 ) -> List[dict]:
+    from repro.campaign import speedup_matrix
+
     base = _base(base)
     workloads = list(workloads or ALL_WORKLOADS)
     schemes = list(schemes or DC_SCHEMES)
-    results = run_matrix(["baseline"] + schemes, workloads, base)
+    results = speedup_matrix(schemes, workloads, base, baseline="baseline")
     rows = []
     for wl in workloads:
-        baseline = results[("baseline", wl)]
         row = {"workload": wl, "paper_class": CLASS_OF[wl]}
         for scheme in schemes:
-            res = results[(scheme, wl)]
-            row[f"{scheme}_ipc_rel"] = res.speedup_over(baseline)
+            res, rel = results[(scheme, wl)]
+            row[f"{scheme}_ipc_rel"] = rel
             row[f"{scheme}_dc_access_time"] = res.dc_access_time
         rows.append(row)
     return rows
@@ -132,10 +137,11 @@ def experiment_fig10(
     base = _base(base)
     workloads = list(workloads or ALL_WORKLOADS)
     schemes = list(schemes or DC_SCHEMES)
+    results = run_matrix(schemes, workloads, base)
     rows = []
     for wl in workloads:
         for scheme in schemes:
-            res = run_workload(base.with_(scheme=scheme, workload=wl))
+            res = results[(scheme, wl)]
             total = sum(res.hbm_bytes_by_class.values()) or 1
             rows.append(
                 {
@@ -160,10 +166,12 @@ def experiment_fig11(
     base: Optional[RunConfig] = None, workloads: Optional[Sequence[str]] = None
 ) -> List[dict]:
     base = _base(base)
+    workloads = list(workloads or ALL_WORKLOADS)
+    results = run_matrix(["tdc", "nomad"], workloads, base)
     rows = []
-    for wl in (workloads or ALL_WORKLOADS):
-        tdc = run_workload(base.with_(scheme="tdc", workload=wl))
-        nomad = run_workload(base.with_(scheme="nomad", workload=wl))
+    for wl in workloads:
+        tdc = results[("tdc", wl)]
+        nomad = results[("nomad", wl)]
         rows.append(
             {
                 "workload": wl,
@@ -261,24 +269,30 @@ def experiment_fig14(
     pcshr_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
     workloads: Sequence[str] = ("cact", "libq"),
 ) -> List[dict]:
+    from repro.campaign import GridSpec, run_campaign
+
     base = _base(base)
+    grid = GridSpec(
+        schemes=("nomad",),
+        workloads=tuple(workloads),
+        base=base,
+        axes={"num_pcshrs": tuple(pcshr_counts)},
+    )
+    campaign = run_campaign(grid)
     rows = []
-    for wl in workloads:
-        for n in pcshr_counts:
-            res = run_workload(
-                base.with_(
-                    scheme="nomad", workload=wl, nomad_cfg=NomadConfig(num_pcshrs=n)
-                )
-            )
-            rows.append(
-                {
-                    "workload": wl,
-                    "pcshrs": n,
-                    "stall_ratio": res.os_stall_ratio,
-                    "tag_latency": res.tag_mgmt_latency or 0.0,
-                    "ipc": res.ipc,
-                }
-            )
+    for rec in campaign.records:
+        res = rec.result
+        if res is None:
+            raise RuntimeError(f"fig14 run failed: {rec.error}")
+        rows.append(
+            {
+                "workload": rec.config.workload,
+                "pcshrs": rec.config.nomad_cfg.num_pcshrs,
+                "stall_ratio": res.os_stall_ratio,
+                "tag_latency": res.tag_mgmt_latency or 0.0,
+                "ipc": res.ipc,
+            }
+        )
     return rows
 
 

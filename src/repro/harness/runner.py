@@ -2,16 +2,25 @@
 
 Experiments share (scheme, workload) runs -- e.g., Fig. 9 and Fig. 11
 both need TDC and NOMAD on every workload -- so the runner memoizes
-results by their full parameter key within the process.
+results by their full parameter key within the process.  The memo cache
+is bounded (LRU) and instrumented; campaign summaries surface its
+hit/miss counters.
+
+A persistent :class:`repro.campaign.store.ResultStore` can additionally
+be installed with :func:`set_result_store`; ``run_workload`` then falls
+back to the disk store on a memo miss and writes every fresh simulation
+through to it, so repeated benchmark/figure runs become cache hits
+across processes and sessions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config.schemes import NomadConfig, TDCConfig, TiDConfig
-from repro.config.system import SystemConfig, scaled_system
+from repro.config.system import scaled_system
 from repro.system.builder import build_machine
 from repro.system.machine import MachineResult
 
@@ -34,17 +43,143 @@ class RunConfig:
     def with_(self, **overrides) -> "RunConfig":
         return replace(self, **overrides)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible view; stable input for cache keys + workers."""
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "num_mem_ops": self.num_mem_ops,
+            "num_cores": self.num_cores,
+            "dc_megabytes": self.dc_megabytes,
+            "seed": self.seed,
+            "prewarm": self.prewarm,
+            "nomad_cfg": self.nomad_cfg.to_dict() if self.nomad_cfg else None,
+            "tdc_cfg": self.tdc_cfg.to_dict() if self.tdc_cfg else None,
+            "tid_cfg": self.tid_cfg.to_dict() if self.tid_cfg else None,
+        }
 
-_CACHE: Dict[RunConfig, MachineResult] = {}
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"RunConfig.from_dict: unknown keys {sorted(unknown)}")
+        kwargs = dict(d)
+        for key, sub_cls in (
+            ("nomad_cfg", NomadConfig),
+            ("tdc_cfg", TDCConfig),
+            ("tid_cfg", TiDConfig),
+        ):
+            sub = kwargs.get(key)
+            if sub is not None and not isinstance(sub, sub_cls):
+                kwargs[key] = sub_cls.from_dict(sub)
+        return cls(**kwargs)
+
+
+class MemoCache:
+    """Bounded LRU memo of ``RunConfig -> MachineResult`` with counters."""
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[RunConfig, MachineResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: RunConfig) -> Optional[MachineResult]:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: RunConfig, value: MachineResult) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+
+_CACHE = MemoCache()
+# Optional cross-process store (duck-typed: get/put/stats), see
+# repro.campaign.store.ResultStore.
+_STORE = None
 
 
 def clear_cache() -> None:
     _CACHE.clear()
 
 
+def cache_stats() -> Dict[str, int]:
+    """Counters of the in-process memo cache."""
+    return _CACHE.stats()
+
+
+def configure_cache(maxsize: int) -> None:
+    """Re-bound the memo cache (clears it)."""
+    global _CACHE
+    _CACHE = MemoCache(maxsize=maxsize)
+
+
+def set_result_store(store) -> object:
+    """Install a persistent result store; returns the previous one."""
+    global _STORE
+    prev = _STORE
+    _STORE = store
+    return prev
+
+
+def get_result_store():
+    return _STORE
+
+
+def cached_result(cfg: RunConfig) -> Tuple[Optional[MachineResult], str]:
+    """Look up *cfg* without simulating.
+
+    Returns ``(result, source)`` where source is ``"memo"`` or
+    ``"store"``; a store hit is promoted into the memo cache.
+    """
+    result = _CACHE.get(cfg)
+    if result is not None:
+        return result, "memo"
+    if _STORE is not None:
+        result = _STORE.get(cfg)
+        if result is not None:
+            _CACHE.put(cfg, result)
+            return result, "store"
+    return None, ""
+
+
+def prime(cfg: RunConfig, result: MachineResult) -> None:
+    """Insert an externally computed result (e.g. from a pool worker)."""
+    _CACHE.put(cfg, result)
+    if _STORE is not None:
+        _STORE.put(cfg, result)
+
+
 def run_workload(cfg: RunConfig) -> MachineResult:
-    """Run (or fetch the memoized result of) one configuration."""
-    cached = _CACHE.get(cfg)
+    """Run (or fetch the cached result of) one configuration."""
+    cached, _source = cached_result(cfg)
     if cached is not None:
         return cached
     system = scaled_system(num_cores=cfg.num_cores, dc_megabytes=cfg.dc_megabytes)
@@ -60,7 +195,7 @@ def run_workload(cfg: RunConfig) -> MachineResult:
         tid_cfg=cfg.tid_cfg,
     )
     result = machine.run()
-    _CACHE[cfg] = result
+    prime(cfg, result)
     return result
 
 
@@ -68,13 +203,18 @@ def run_matrix(
     schemes: Iterable[str],
     workloads: Iterable[str],
     base: Optional[RunConfig] = None,
+    jobs: int = 1,
+    store=None,
 ) -> Dict[Tuple[str, str], MachineResult]:
-    """Run a (scheme x workload) grid; keys are ``(scheme, workload)``."""
+    """Run a (scheme x workload) grid; keys are ``(scheme, workload)``.
+
+    Routed through the campaign layer: ``jobs > 1`` fans the grid out
+    over worker processes, and ``store`` (or the installed global store)
+    serves repeats from disk.  Raises ``CampaignError`` if any run fails.
+    """
+    from repro.campaign import GridSpec, run_campaign
+
     if base is None:
         base = RunConfig(scheme="baseline", workload="cact")
-    out: Dict[Tuple[str, str], MachineResult] = {}
-    for wl in workloads:
-        for scheme in schemes:
-            cfg = base.with_(scheme=scheme, workload=wl)
-            out[(scheme, wl)] = run_workload(cfg)
-    return out
+    grid = GridSpec(schemes=tuple(schemes), workloads=tuple(workloads), base=base)
+    return run_campaign(grid, jobs=jobs, store=store).as_matrix()

@@ -59,6 +59,19 @@ class MachineResult:
 
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, d: Dict) -> "MachineResult":
+        """Inverse of :meth:`to_dict` (campaign store / worker transport)."""
+        from dataclasses import fields as dc_fields
+
+        known = {f.name for f in dc_fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"MachineResult.from_dict: unknown keys {sorted(unknown)}"
+            )
+        return cls(**d)
+
 
 class Machine:
     """One configured simulation: scheme + per-core traces."""

@@ -22,6 +22,7 @@ long traces stream in O(chunk) memory.  Generation is deterministic per
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional, Tuple
 
@@ -83,7 +84,11 @@ class SyntheticWorkload:
             raise ValueError(f"{spec.name}: mean_run_lines must be in [1, 64]")
         self.spec = spec
         self.core_id = core_id
-        self._rng = np.random.default_rng((seed, core_id, hash(spec.name) & 0xFFFF))
+        # crc32, not hash(): str hash is salted per interpreter, and the
+        # campaign layer needs bit-identical traces across worker
+        # processes and sessions for result-store hits to be sound.
+        name_tag = zlib.crc32(spec.name.encode()) & 0xFFFF
+        self._rng = np.random.default_rng((seed, core_id, name_tag))
         # Streams start at page 0 so the warmup plan (the trailing
         # dc-share of pages) lines up with the reuse window.
         self._stream_pos = 0 if spec.page_select == "stream" else int(

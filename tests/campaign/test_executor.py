@@ -1,0 +1,113 @@
+"""Campaign executor: parallel==serial, store reuse, failure summaries."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    GridSpec,
+    ResultStore,
+    run_campaign,
+)
+from repro.harness import runner
+from repro.harness.runner import RunConfig, clear_cache, run_matrix
+
+BASE = RunConfig(scheme="baseline", workload="sop", num_mem_ops=300,
+                 num_cores=2, dc_megabytes=8)
+GRID = GridSpec(schemes=("baseline", "nomad"), workloads=("sop", "cc"),
+                base=BASE, axes={"seed": (1, 2)})  # 8 runs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_cache()
+    prev = runner.set_result_store(None)
+    yield
+    runner.set_result_store(prev)
+    clear_cache()
+
+
+def test_parallel_equals_serial_on_8_run_grid():
+    serial = run_campaign(GRID, jobs=1)
+    assert serial.ok and serial.summary.completed == 8
+    clear_cache()
+    parallel = run_campaign(GRID, jobs=4)
+    assert parallel.ok and parallel.summary.completed == 8
+    for s_rec, p_rec in zip(serial.records, parallel.records):
+        assert s_rec.config == p_rec.config
+        assert s_rec.result == p_rec.result  # full stat equality, not just IPC
+
+
+def test_second_campaign_is_all_store_hits(tmp_path):
+    store = ResultStore(tmp_path)
+    first = run_campaign(GRID, jobs=2, store=store)
+    assert first.summary.completed == 8
+    clear_cache()  # drop the memo so only the disk store can answer
+    second = run_campaign(GRID, jobs=2, store=ResultStore(tmp_path))
+    assert second.summary.cached == 8
+    assert second.summary.completed == 0
+    assert all(r.source == "store" for r in second.records)
+    for a, b in zip(first.records, second.records):
+        assert a.result == b.result
+
+
+def test_memo_hits_reported_as_cached():
+    first = run_campaign(GRID, jobs=1)
+    assert first.summary.completed == 8
+    again = run_campaign(GRID, jobs=1)
+    assert again.summary.cached == 8
+    assert all(r.source == "memo" for r in again.records)
+
+
+def test_failed_run_does_not_abort_grid():
+    configs = [BASE, BASE.with_(workload="nosuch"), BASE.with_(seed=2)]
+    campaign = run_campaign(configs, jobs=1)
+    assert [r.status for r in campaign.records] == \
+        ["completed", "failed", "completed"]
+    assert campaign.summary.failed == 1
+    assert not campaign.ok
+    assert campaign.failures()[0].error
+
+
+def test_failed_run_in_parallel_mode(tmp_path):
+    configs = [BASE, BASE.with_(workload="nosuch"), BASE.with_(seed=2)]
+    campaign = run_campaign(configs, jobs=2)
+    statuses = [r.status for r in campaign.records]
+    assert statuses == ["completed", "failed", "completed"]
+    assert campaign.records[1].attempts == 1  # deterministic error: no retry
+
+
+def test_summary_surfaces_memo_counters():
+    campaign = run_campaign(GRID, jobs=1)
+    assert campaign.summary.memo["misses"] >= 8
+    assert "maxsize" in campaign.summary.memo
+
+
+def test_as_matrix_raises_on_failure():
+    campaign = run_campaign([BASE.with_(workload="nosuch")], jobs=1)
+    with pytest.raises(CampaignError, match="failed"):
+        campaign.as_matrix()
+
+
+def test_as_matrix_raises_on_duplicate_keys():
+    campaign = run_campaign(GRID, jobs=1)  # seeds axis duplicates (s, wl)
+    with pytest.raises(CampaignError, match="multiple runs"):
+        campaign.as_matrix()
+
+
+def test_run_matrix_routes_through_campaign():
+    out = run_matrix(["baseline", "ideal"], ["sop"], BASE)
+    assert set(out) == {("baseline", "sop"), ("ideal", "sop")}
+
+
+def test_run_matrix_parallel_matches_serial():
+    serial = run_matrix(["baseline", "nomad"], ["sop", "cc"], BASE)
+    clear_cache()
+    parallel = run_matrix(["baseline", "nomad"], ["sop", "cc"], BASE, jobs=4)
+    assert set(serial) == set(parallel)
+    for key in serial:
+        assert serial[key] == parallel[key]
+
+
+def test_explicit_store_not_left_installed(tmp_path):
+    run_campaign([BASE], jobs=1, store=ResultStore(tmp_path))
+    assert runner.get_result_store() is None

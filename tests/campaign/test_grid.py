@@ -1,0 +1,83 @@
+"""Grid expansion: counts, order, axis routing, dedup, validation."""
+
+import pytest
+
+from repro.campaign import GridSpec
+from repro.config.schemes import BackendTopology
+from repro.harness.runner import RunConfig
+
+BASE = RunConfig(scheme="baseline", workload="cact", num_mem_ops=300,
+                 num_cores=2, dc_megabytes=8)
+
+
+def test_plain_grid_matches_serial_loop_order():
+    grid = GridSpec(schemes=("baseline", "nomad"), workloads=("sop", "cc"),
+                    base=BASE)
+    configs = grid.expand()
+    assert [(c.scheme, c.workload) for c in configs] == [
+        ("baseline", "sop"), ("nomad", "sop"),
+        ("baseline", "cc"), ("nomad", "cc"),
+    ]
+
+
+def test_runconfig_axis_applies_to_every_scheme():
+    grid = GridSpec(schemes=("baseline",), workloads=("sop",), base=BASE,
+                    axes={"seed": (1, 2, 3)})
+    assert [c.seed for c in grid.expand()] == [1, 2, 3]
+
+
+def test_scheme_axis_routes_to_nomad_cfg_only():
+    grid = GridSpec(schemes=("baseline", "nomad"), workloads=("sop",),
+                    base=BASE, axes={"num_pcshrs": (8, 32)})
+    configs = grid.expand()
+    # Baseline ignores the axis and dedups to a single run.
+    assert [(c.scheme, c.nomad_cfg.num_pcshrs if c.nomad_cfg else None)
+            for c in configs] == [("baseline", None), ("nomad", 8), ("nomad", 32)]
+
+
+def test_enum_axis_value_coerced():
+    grid = GridSpec(schemes=("nomad",), workloads=("sop",), base=BASE,
+                    axes={"topology": ("centralized", "distributed")})
+    tops = [c.nomad_cfg.topology for c in grid.expand()]
+    assert tops == [BackendTopology.CENTRALIZED, BackendTopology.DISTRIBUTED]
+
+
+def test_multi_axis_product_order_is_declaration_major():
+    grid = GridSpec(schemes=("nomad",), workloads=("sop",), base=BASE,
+                    axes=[("num_pcshrs", (8, 16)), ("seed", (1, 2))])
+    combos = [(c.nomad_cfg.num_pcshrs, c.seed) for c in grid.expand()]
+    assert combos == [(8, 1), (8, 2), (16, 1), (16, 2)]
+
+
+def test_axis_preserves_other_nomad_cfg_fields():
+    from repro.config.schemes import NomadConfig
+
+    base = BASE.with_(nomad_cfg=NomadConfig(num_copy_buffers=4))
+    grid = GridSpec(schemes=("nomad",), workloads=("sop",), base=base,
+                    axes={"num_pcshrs": (8,)})
+    (cfg,) = grid.expand()
+    assert cfg.nomad_cfg.num_pcshrs == 8
+    assert cfg.nomad_cfg.num_copy_buffers == 4
+
+
+def test_unknown_axis_rejected():
+    with pytest.raises(ValueError, match="unknown sweep axis"):
+        GridSpec(schemes=("nomad",), workloads=("sop",), base=BASE,
+                 axes={"bogus_knob": (1,)})
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ValueError, match="no values"):
+        GridSpec(schemes=("nomad",), workloads=("sop",), base=BASE,
+                 axes={"seed": ()})
+
+
+def test_empty_schemes_rejected():
+    with pytest.raises(ValueError, match="at least one scheme"):
+        GridSpec(schemes=(), workloads=("sop",), base=BASE)
+
+
+def test_len_counts_deduped_runs():
+    grid = GridSpec(schemes=("baseline", "nomad"), workloads=("sop",),
+                    base=BASE, axes={"num_pcshrs": (8, 32)})
+    assert len(grid) == 3

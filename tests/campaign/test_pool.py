@@ -1,0 +1,49 @@
+"""Robustness layer: crashes, hangs, retries, deterministic merge order."""
+
+from repro.campaign.pool import CRASHED, ERROR, OK, TIMEOUT, map_with_retries
+
+from tests.campaign import workers
+
+
+def test_all_ok_preserves_submission_order():
+    outcomes = map_with_retries(workers.square, list(range(8)), jobs=4)
+    assert [o.status for o in outcomes] == [OK] * 8
+    assert [o.value for o in outcomes] == [i * i for i in range(8)]
+    assert [o.index for o in outcomes] == list(range(8))
+
+
+def test_deterministic_crash_exhausts_retries_and_spares_others():
+    payloads = [1, 2, 3]
+    outcomes = map_with_retries(
+        workers.crash_if_two, payloads, jobs=2, retries=2
+    )
+    assert outcomes[0].status == OK and outcomes[0].value == 1
+    assert outcomes[2].status == OK and outcomes[2].value == 3
+    assert outcomes[1].status == CRASHED
+    assert outcomes[1].attempts == 3  # 1 try + 2 retries
+
+
+def test_crash_once_recovers_on_retry(tmp_path):
+    marker = str(tmp_path / "attempted.marker")
+    outcomes = map_with_retries(workers.crash_once, [marker], jobs=2, retries=1)
+    assert outcomes[0].status == OK
+    assert outcomes[0].value == "recovered"
+    assert outcomes[0].attempts == 2
+
+
+def test_task_exception_is_error_not_retried():
+    outcomes = map_with_retries(workers.raise_value_error, [7], jobs=2,
+                                retries=3)
+    assert outcomes[0].status == ERROR
+    assert outcomes[0].attempts == 1
+    assert "bad payload 7" in outcomes[0].error
+
+
+def test_hung_worker_trips_watchdog():
+    outcomes = map_with_retries(
+        workers.hang_if_negative, [2, -1, 3], jobs=3, timeout=1.0, retries=0
+    )
+    assert outcomes[0].status == OK and outcomes[0].value == 4
+    assert outcomes[2].status == OK and outcomes[2].value == 9
+    assert outcomes[1].status == TIMEOUT
+    assert "worker killed" in outcomes[1].error

@@ -1,0 +1,72 @@
+"""Persistent result store: hits, invalidation, corruption tolerance."""
+
+from repro.campaign import ResultStore
+from repro.config.schemes import NomadConfig
+from repro.harness.runner import RunConfig, run_workload
+
+SMALL = RunConfig(scheme="baseline", workload="sop", num_mem_ops=300,
+                  num_cores=2, dc_megabytes=8)
+
+
+def _result():
+    return run_workload(SMALL)
+
+
+def test_put_get_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    res = _result()
+    assert store.get(SMALL) is None  # cold
+    store.put(SMALL, res)
+    assert store.get(SMALL) == res
+    assert store.stats()["hits"] == 1
+    assert store.stats()["writes"] == 1
+    assert len(store) == 1
+
+
+def test_miss_on_any_config_change(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(SMALL, _result())
+    assert store.get(SMALL.with_(seed=2)) is None
+    assert store.get(SMALL.with_(scheme="nomad")) is None
+    # A nested scheme-config knob changes the key too.
+    assert store.get(
+        SMALL.with_(scheme="nomad", nomad_cfg=NomadConfig(num_pcshrs=8))
+    ) is None
+
+
+def test_version_stamp_invalidates(tmp_path):
+    old = ResultStore(tmp_path, version="1.0.0")
+    old.put(SMALL, _result())
+    new = ResultStore(tmp_path, version="2.0.0")
+    assert new.get(SMALL) is None
+    # The old version's entry is untouched.
+    assert old.get(SMALL) is not None
+
+
+def test_key_is_stable_across_instances(tmp_path):
+    a = ResultStore(tmp_path, version="x")
+    b = ResultStore(tmp_path, version="x")
+    assert a.key(SMALL) == b.key(SMALL)
+    assert a.key(SMALL) != a.key(SMALL.with_(seed=2))
+
+
+def test_corrupted_entry_degrades_to_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.put(SMALL, _result())
+    path.write_text("{not json")
+    assert store.get(SMALL) is None
+    # And can be healed by re-writing.
+    store.put(SMALL, _result())
+    assert store.get(SMALL) is not None
+
+
+def test_mismatched_config_payload_degrades_to_miss(tmp_path):
+    """A (hypothetical) key collision must never return a wrong result."""
+    store = ResultStore(tmp_path)
+    path = store.put(SMALL, _result())
+    other = SMALL.with_(seed=99)
+    # Graft the entry onto another config's slot.
+    target = store.path_for(other)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(path.read_text())
+    assert store.get(other) is None

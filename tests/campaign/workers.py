@@ -1,0 +1,50 @@
+"""Module-level worker functions for the pool tests.
+
+They live here (not in the test module) so ``ProcessPoolExecutor`` can
+pickle them by qualified name in every start method.
+"""
+
+import os
+import time
+
+
+def square(x):
+    return x * x
+
+
+def crash(_payload):
+    """Kill the worker process outright (bypasses exception handling)."""
+    os._exit(13)
+
+
+def crash_once(path):
+    """Crash on the first attempt, succeed on the retry.
+
+    Cross-process state is a marker file: absent -> create it and die;
+    present -> return normally.
+    """
+    if os.path.exists(path):
+        return "recovered"
+    with open(path, "w") as fh:
+        fh.write("attempted")
+    os._exit(13)
+
+
+def hang(_payload):
+    time.sleep(300)
+
+
+def hang_if_negative(x):
+    if x < 0:
+        time.sleep(300)
+    return x * x
+
+
+def raise_value_error(x):
+    raise ValueError(f"bad payload {x}")
+
+
+def crash_if_two(x):
+    if x == 2:
+        os._exit(13)
+    return x

@@ -1,6 +1,13 @@
 """Run driver and memoization."""
 
-from repro.harness.runner import RunConfig, clear_cache, run_matrix, run_workload
+from repro.harness.runner import (
+    MemoCache,
+    RunConfig,
+    cache_stats,
+    clear_cache,
+    run_matrix,
+    run_workload,
+)
 
 
 SMALL = RunConfig(scheme="baseline", workload="sop", num_mem_ops=300,
@@ -38,3 +45,36 @@ def test_with_override():
 def test_run_matrix_keys():
     out = run_matrix(["baseline", "ideal"], ["sop"], SMALL)
     assert set(out) == {("baseline", "sop"), ("ideal", "sop")}
+
+
+def test_cache_stats_count_hits_and_misses():
+    assert cache_stats()["size"] == 0
+    run_workload(SMALL)
+    stats = cache_stats()
+    assert stats["misses"] >= 1 and stats["size"] == 1
+    hits_before = stats["hits"]
+    run_workload(SMALL)
+    assert cache_stats()["hits"] == hits_before + 1
+
+
+def test_memo_cache_is_bounded_lru():
+    cache = MemoCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+    cache.put("c", 3)
+    assert len(cache) == 2
+    assert cache.get("b") is None  # evicted
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["misses"] == 1
+
+
+def test_clear_cache_resets_counters():
+    run_workload(SMALL)
+    run_workload(SMALL)
+    clear_cache()
+    stats = cache_stats()
+    assert stats == {"hits": 0, "misses": 0, "evictions": 0, "size": 0,
+                     "maxsize": stats["maxsize"]}

@@ -1,8 +1,18 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.harness.runner import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_cache()
+    yield
+    clear_cache()
 
 
 def test_parser_requires_command():
@@ -45,3 +55,62 @@ def test_compare(capsys):
 def test_invalid_scheme_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--scheme", "bogus", "--workload", "sop"])
+
+
+def test_run_json(capsys):
+    rc = main(["run", "--scheme", "baseline", "--workload", "sop",
+               "--ops", "200", "--cores", "2", "--dc-mb", "8", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"]["scheme"] == "baseline"
+    assert payload["result"]["workload"] == "sop"
+    assert payload["result"]["ipc"] > 0
+
+
+def test_compare_json(capsys):
+    rc = main(["compare", "--workload", "sop", "--ops", "200",
+               "--cores", "2", "--dc-mb", "8", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {r["scheme"] for r in payload["rows"]} == \
+        {"baseline", "tid", "tdc", "nomad", "ideal"}
+    (base_row,) = [r for r in payload["rows"] if r["scheme"] == "baseline"]
+    assert base_row["ipc_rel"] == pytest.approx(1.0)
+
+
+def test_sweep_text_and_store_round_trip(tmp_path, capsys):
+    args = ["sweep", "--schemes", "baseline,nomad", "--workloads", "sop",
+            "--seeds", "1,2", "--ops", "200", "--cores", "2", "--dc-mb", "8",
+            "--store", str(tmp_path)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "4 runs" in out and "4 simulated" in out
+    # Second invocation: everything comes from the disk store.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "4 cached" in out and "0 failed" in out
+
+
+def test_sweep_json(tmp_path, capsys):
+    rc = main(["sweep", "--schemes", "baseline", "--workloads", "sop",
+               "--ops", "200", "--cores", "2", "--dc-mb", "8",
+               "--store", str(tmp_path), "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["total"] == 1
+    assert payload["runs"][0]["status"] in ("completed", "cached")
+    assert payload["runs"][0]["result"]["ipc"] > 0
+
+
+def test_sweep_no_store(capsys):
+    rc = main(["sweep", "--schemes", "baseline", "--workloads", "sop",
+               "--ops", "200", "--cores", "2", "--dc-mb", "8", "--no-store"])
+    assert rc == 0
+    assert "result store" not in capsys.readouterr().out
+
+
+def test_sweep_rejects_unknown_names(capsys):
+    rc = main(["sweep", "--schemes", "warpdrive", "--workloads", "sop",
+               "--no-store"])
+    assert rc == 2
+    assert "warpdrive" in capsys.readouterr().err
