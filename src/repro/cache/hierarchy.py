@@ -15,10 +15,11 @@ from the DRAM cache it flushes that page's lines here first
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
-from repro.cache.mshr import MSHRFile
-from repro.cache.sram_cache import SRAMCache
+from repro.cache.mshr import MSHREntry, MSHRFile
+from repro.cache.sram_cache import CacheLine, SRAMCache
 from repro.common.types import CACHE_LINE_SIZE, MemAccess
 from repro.config.system import SystemConfig
 from repro.engine.simulator import Component, Simulator
@@ -52,10 +53,24 @@ class CacheHierarchy(Component):
         self.miss_handler = miss_handler
         self.writeback_handler = writeback_handler
         self.response_latency = cfg.l1.latency  # fill-to-use return path
-        self._llc_misses = self.stats.counter("llc_misses")
-        self._llc_accesses = self.stats.counter("llc_accesses")
+        # Hot-path counters are plain ints, flushed into the StatGroup
+        # whenever it is read (see StatGroup.set_sync).
+        self.llc_miss_count = 0
+        self.llc_access_count = 0
+        self.stats.counter("llc_misses")
+        self.stats.counter("llc_accesses")
+        self.stats.set_sync(self._sync_stats)
+        # Composed hit latencies per level (Table II), bound once.
+        self._l1_latency = cfg.l1.latency
+        self._l2_latency = cfg.l1.latency + cfg.l2.latency
+        self._l3_latency = cfg.l1.latency + cfg.l2.latency + cfg.l3.latency
         self._pending_issue: Dict[int, MemAccess] = {}
         self._pending_dirty: set = set()
+        self._schedule_at = sim.schedule_at
+
+    def _sync_stats(self) -> None:
+        self.stats._stats["llc_misses"].value = self.llc_miss_count
+        self.stats._stats["llc_accesses"].value = self.llc_access_count
 
     # -- access path ----------------------------------------------------
 
@@ -72,41 +87,87 @@ class CacheHierarchy(Component):
         fires when the line arrives.
         """
         core = access.core_id
-        key = line_key(core, access.addr)
+        key = (core << _CORE_SHIFT) | (access.addr >> 6)  # line_key() inlined
         is_write = access.is_write
 
-        if self.l1[core].lookup(key, is_write):
-            return now + self.cfg.l1.latency
-        lat = self.cfg.l1.latency + self.cfg.l2.latency
-        if self.l2[core].lookup(key, is_write):
-            self._fill_level(self.l1[core], key, self._paddr_of(self.l2[core], key), core)
-            return now + lat
-        lat += self.cfg.l3.latency
-        self._llc_accesses.inc()
-        if self.l3.lookup(key, is_write):
-            paddr = self._paddr_of(self.l3, key)
-            self._fill_level(self.l2[core], key, paddr, core)
-            self._fill_level(self.l1[core], key, paddr, core)
-            return now + lat
+        # The three probes inline SRAMCache.lookup (which stays the
+        # reference implementation -- keep the two in sync).  All
+        # hierarchy levels use LRU, so the touch is an unconditional
+        # delete-and-reinsert at the back of the set dict.  Keys here are
+        # nonnegative ints below 2**61 - 1, for which hash(k) == k, so
+        # ``key % num_sets`` picks the same set as SRAMCache._set_index.
+        l1 = self.l1[core]
+        cache_set = l1._sets[key % l1.num_sets]
+        line = cache_set.get(key)
+        if line is not None:
+            del cache_set[key]
+            cache_set[key] = line
+            if is_write:
+                line.dirty = True
+            l1.hits += 1
+            return now + self._l1_latency
+        l1.misses += 1
 
-        # LLC miss: enter the event-driven world.
-        self._llc_misses.inc()
+        l2 = self.l2[core]
+        cache_set = l2._sets[key % l2.num_sets]
+        line = cache_set.get(key)
+        if line is not None:
+            del cache_set[key]
+            cache_set[key] = line
+            if is_write:
+                line.dirty = True
+            l2.hits += 1
+            self._fill_level(l1, key, line.paddr, core)
+            return now + self._l2_latency
+        l2.misses += 1
+
+        self.llc_access_count += 1
+        l3 = self.l3
+        cache_set = l3._sets[key % l3.num_sets]
+        line = cache_set.get(key)
+        if line is not None:
+            del cache_set[key]
+            cache_set[key] = line
+            if is_write:
+                line.dirty = True
+            l3.hits += 1
+            paddr = line.paddr
+            self._fill_level(l2, key, paddr, core)
+            self._fill_level(l1, key, paddr, core)
+            return now + self._l3_latency
+        l3.misses += 1
+
+        # LLC miss: enter the event-driven world.  MSHRFile.allocate is
+        # inlined (merge / queue / new -- keep in sync with mshr.py).
+        self.llc_miss_count += 1
         if is_write:
             self._pending_dirty.add(key)
-        outcome = self.mshrs.allocate(key, now, on_complete)
-        if outcome == "new":
-            self._pending_issue[key] = access
-            issue_at = now + lat
-            self.sim.schedule_at(issue_at, lambda k=key: self._issue_miss(k))
-        elif outcome == "queued" and key not in self._pending_issue:
+        mshrs = self.mshrs
+        entries = mshrs._entries
+        entry = entries.get(key)
+        if entry is not None:
+            entry.waiters.append(on_complete)
+            mshrs.merges += 1
+        elif len(entries) >= mshrs.capacity:
+            mshrs._overflow.append((key, now, on_complete))
+            mshrs.overflow_events += 1
             # Remember the access so the miss can be issued when an MSHR
             # frees up (drained in _on_fill).
+            if key not in self._pending_issue:
+                self._pending_issue[key] = access
+        else:
+            entries[key] = MSHREntry(key, now, [on_complete])
+            mshrs.allocations += 1
             self._pending_issue[key] = access
+            issue_at = now + self._l3_latency
+            self._schedule_at(issue_at, partial(self._issue_miss, key))
         return None
 
     def _issue_miss(self, key: int) -> None:
         access = self._pending_issue.pop(key)
-        self.miss_handler(access, lambda t, k=key, a=access: self._on_fill(k, a, t))
+        # partial over a lambda: the fill callback fires once per miss,
+        # and partial dispatches without an intermediate Python frame.
+        self.miss_handler(access, partial(self._on_fill, key, access))
 
     def _on_fill(self, key: int, access: MemAccess, finish_time: int) -> None:
         """The DRAM cache scheme delivered the line; fill and notify."""
@@ -116,10 +177,13 @@ class CacheHierarchy(Component):
         self._pending_dirty.discard(key)
         self._insert_inclusive(core, key, paddr, dirty=dirty)
         done = finish_time + self.response_latency
-        for waiter in self.mshrs.retire(key, finish_time):
+        mshrs = self.mshrs
+        # MSHRFile.retire inlined; overflow drain skipped when empty.
+        for waiter in mshrs._entries.pop(key).waiters:
             waiter(done)
-        for promoted in self.mshrs.drain_overflow(self.sim.now):
-            self._issue_miss(promoted)
+        if mshrs._overflow:
+            for promoted in mshrs.drain_overflow(self.sim.now):
+                self._issue_miss(promoted)
 
     # -- fills, evictions, invalidation ----------------------------------
 
@@ -133,13 +197,55 @@ class CacheHierarchy(Component):
             self._spill(victim, core)
 
     def _insert_inclusive(self, core: int, key: int, paddr: int, dirty: bool) -> None:
-        victim = self.l3.insert(key, paddr, dirty=False)
-        if victim is not None:
-            self._back_invalidate(victim)
-        self._fill_level(self.l2[core], key, paddr, core)
-        l1_victim = self.l1[core].insert(key, paddr, dirty=dirty)
-        if l1_victim is not None and l1_victim.dirty:
-            self._spill(l1_victim, core)
+        # One of these per LLC miss; the three SRAMCache.insert calls
+        # are inlined (keep in sync with sram_cache.py; see access() for
+        # why ``key %`` replaces ``hash(key) %``).
+        l3 = self.l3
+        cache_set = l3._sets[key % l3.num_sets]
+        line = cache_set.get(key)
+        if line is not None:
+            line.paddr = paddr
+            del cache_set[key]
+            cache_set[key] = line
+        else:
+            victim = None
+            if len(cache_set) >= l3.ways:
+                victim = cache_set.pop(next(iter(cache_set)))
+            cache_set[key] = CacheLine(key, paddr, False)
+            if victim is not None:
+                self._back_invalidate(victim)
+
+        l2 = self.l2[core]
+        cache_set = l2._sets[key % l2.num_sets]
+        line = cache_set.get(key)
+        if line is not None:
+            line.paddr = paddr
+            del cache_set[key]
+            cache_set[key] = line
+        else:
+            victim = None
+            if len(cache_set) >= l2.ways:
+                victim = cache_set.pop(next(iter(cache_set)))
+            cache_set[key] = CacheLine(key, paddr, False)
+            if victim is not None and victim.dirty:
+                self._spill(victim, core)
+
+        l1 = self.l1[core]
+        cache_set = l1._sets[key % l1.num_sets]
+        line = cache_set.get(key)
+        if line is not None:
+            if dirty:
+                line.dirty = True
+            line.paddr = paddr
+            del cache_set[key]
+            cache_set[key] = line
+        else:
+            victim = None
+            if len(cache_set) >= l1.ways:
+                victim = cache_set.pop(next(iter(cache_set)))
+            cache_set[key] = CacheLine(key, paddr, dirty)
+            if victim is not None and victim.dirty:
+                self._spill(victim, core)
 
     def _spill(self, victim, core: int) -> None:
         """Push a dirty victim one level down; L3 victims go to DRAM."""
@@ -157,10 +263,13 @@ class CacheHierarchy(Component):
         core = key >> _CORE_SHIFT
         dirty = victim.dirty
         if core < self.num_cores:
-            l1_line = self.l1[core].invalidate(key)
+            # SRAMCache.invalidate inlined (two pops per L3 eviction).
+            l1 = self.l1[core]
+            l1_line = l1._sets[key % l1.num_sets].pop(key, None)
             if l1_line is not None and l1_line.dirty:
                 dirty = True
-            l2_line = self.l2[core].invalidate(key)
+            l2 = self.l2[core]
+            l2_line = l2._sets[key % l2.num_sets].pop(key, None)
             if l2_line is not None and l2_line.dirty:
                 dirty = True
         if dirty:
@@ -175,12 +284,18 @@ class CacheHierarchy(Component):
         """
         dirty_addrs: List[int] = []
         base = (core_id << _CORE_SHIFT) | (vpn * LINES_PER_PAGE)
-        for i in range(LINES_PER_PAGE):
-            key = base + i
+        l1, l2, l3 = self.l1[core_id], self.l2[core_id], self.l3
+        # 64 keys x 3 levels per eviction; SRAMCache.invalidate inlined.
+        levels = (
+            (l1._sets, l1.num_sets),
+            (l2._sets, l2.num_sets),
+            (l3._sets, l3.num_sets),
+        )
+        for key in range(base, base + LINES_PER_PAGE):
             dirty = False
             paddr = 0
-            for cache in (self.l1[core_id], self.l2[core_id], self.l3):
-                line = cache.invalidate(key)
+            for sets, num_sets in levels:
+                line = sets[key % num_sets].pop(key, None)
                 if line is not None:
                     paddr = line.paddr
                     dirty = dirty or line.dirty

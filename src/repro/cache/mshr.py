@@ -9,17 +9,28 @@ into the entry instead of issuing duplicate memory requests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 
-@dataclass
 class MSHREntry:
-    """One outstanding miss and its merged waiters."""
+    """One outstanding miss and its merged waiters.
 
-    key: Hashable
-    issue_time: int
-    waiters: List[Callable[[int], None]] = field(default_factory=list)
+    Plain slots class: one of these is allocated per LLC miss, which at
+    the miss rates the paper studies means one per handful of simulated
+    cycles.
+    """
+
+    __slots__ = ("key", "issue_time", "waiters")
+
+    def __init__(
+        self,
+        key: Hashable,
+        issue_time: int,
+        waiters: Optional[List[Callable[[int], None]]] = None,
+    ):
+        self.key = key
+        self.issue_time = issue_time
+        self.waiters = [] if waiters is None else waiters
 
     def add_waiter(self, callback: Callable[[int], None]) -> None:
         self.waiters.append(callback)
@@ -84,13 +95,15 @@ class MSHRFile:
         entry = self._entries.pop(key)
         return entry.waiters
 
-    def drain_overflow(self, now: int) -> List[Hashable]:
+    def drain_overflow(self, now: int) -> Sequence[Hashable]:
         """Promote queued misses into free entries.
 
         Returns the keys that became ``"new"`` misses (the caller must
         issue their memory requests).  Queued duplicates of the same key
         merge into the first promotion.
         """
+        if not self._overflow:
+            return ()
         promoted: List[Hashable] = []
         remaining: List[Tuple[Hashable, int, Callable[[int], None]]] = []
         for key, queued_at, waiter in self._overflow:

@@ -6,35 +6,51 @@ Lines are keyed by a caller-chosen hashable (the hierarchy uses
 ``(core_id, virtual_line)``), and each line remembers the translated
 burst address it was filled from so dirty evictions can be routed to the
 right DRAM device.
+
+Every core memory op probes up to three levels, so this is the hottest
+data structure in the simulator.  Replacement order is therefore folded
+into the (insertion-ordered) set dicts themselves instead of a parallel
+policy structure: the first key of a set dict is the victim; an LRU
+touch re-inserts the line at the back, a FIFO touch does nothing.  This
+produces bit-identical victim choices to the previous
+``ReplacementPolicy`` objects (which tracked exactly the same order in a
+separate ``OrderedDict``) at half the bookkeeping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional
 
-from repro.cache.replacement import make_policy
 from repro.config.system import CacheConfig
 
 
-@dataclass
 class CacheLine:
-    key: Hashable
-    paddr: int  # translated byte address of the line at fill time
-    dirty: bool = False
+    __slots__ = ("key", "paddr", "dirty")
+
+    def __init__(self, key: Hashable, paddr: int, dirty: bool = False):
+        self.key = key
+        self.paddr = paddr  # translated byte address of the line at fill time
+        self.dirty = dirty
+
+    def __repr__(self) -> str:
+        return f"CacheLine(key={self.key!r}, paddr={self.paddr:#x}, dirty={self.dirty})"
 
 
 class SRAMCache:
-    """One cache level; sets are dicts, victim order by policy object."""
+    """One cache level; sets are insertion-ordered dicts (front = victim)."""
 
     def __init__(self, cfg: CacheConfig, policy: str = "lru"):
         self.cfg = cfg
         self.num_sets = cfg.num_sets
         if self.num_sets <= 0:
             raise ValueError(f"{cfg.name}: zero sets (size too small for ways)")
+        if policy not in ("lru", "fifo"):
+            raise ValueError(f"unknown replacement policy {policy!r}")
         self.ways = cfg.ways
-        self._sets: List[Dict[Hashable, CacheLine]] = [dict() for _ in range(self.num_sets)]
-        self._policies = [make_policy(policy) for _ in range(self.num_sets)]
+        self._sets: List[Dict[Hashable, CacheLine]] = [
+            dict() for _ in range(self.num_sets)
+        ]
+        self._reorder_on_touch = policy == "lru"
         self.hits = 0
         self.misses = 0
 
@@ -43,12 +59,14 @@ class SRAMCache:
 
     def lookup(self, key: Hashable, is_write: bool = False) -> bool:
         """Probe for ``key``; updates recency and dirty state on hit."""
-        idx = self._set_index(key)
-        line = self._sets[idx].get(key)
+        cache_set = self._sets[hash(key) % self.num_sets]
+        line = cache_set.get(key)
         if line is None:
             self.misses += 1
             return False
-        self._policies[idx].touch(key)
+        if self._reorder_on_touch:
+            del cache_set[key]
+            cache_set[key] = line
         if is_write:
             line.dirty = True
         self.hits += 1
@@ -56,35 +74,30 @@ class SRAMCache:
 
     def contains(self, key: Hashable) -> bool:
         """Probe without updating recency or counters."""
-        return key in self._sets[self._set_index(key)]
+        return key in self._sets[hash(key) % self.num_sets]
 
     def insert(
         self, key: Hashable, paddr: int, dirty: bool = False
     ) -> Optional[CacheLine]:
         """Fill ``key``; returns the evicted victim line (if any)."""
-        idx = self._set_index(key)
-        cache_set = self._sets[idx]
-        if key in cache_set:
-            line = cache_set[key]
+        cache_set = self._sets[hash(key) % self.num_sets]
+        line = cache_set.get(key)
+        if line is not None:
             line.dirty = line.dirty or dirty
             line.paddr = paddr
-            self._policies[idx].touch(key)
+            if self._reorder_on_touch:
+                del cache_set[key]
+                cache_set[key] = line
             return None
         victim: Optional[CacheLine] = None
         if len(cache_set) >= self.ways:
-            victim_key = self._policies[idx].evict()
-            victim = cache_set.pop(victim_key)
+            victim = cache_set.pop(next(iter(cache_set)))
         cache_set[key] = CacheLine(key, paddr, dirty)
-        self._policies[idx].insert(key)
         return victim
 
     def invalidate(self, key: Hashable) -> Optional[CacheLine]:
         """Remove ``key``; returns the line (caller handles dirty data)."""
-        idx = self._set_index(key)
-        line = self._sets[idx].pop(key, None)
-        if line is not None:
-            self._policies[idx].remove(key)
-        return line
+        return self._sets[hash(key) % self.num_sets].pop(key, None)
 
     def invalidate_matching(self, predicate) -> List[CacheLine]:
         """Remove every line whose key satisfies ``predicate``.
@@ -93,15 +106,14 @@ class SRAMCache:
         full scan and therefore only called on the page-eviction path.
         """
         removed: List[CacheLine] = []
-        for idx, cache_set in enumerate(self._sets):
+        for cache_set in self._sets:
             doomed = [k for k in cache_set if predicate(k)]
             for key in doomed:
                 removed.append(cache_set.pop(key))
-                self._policies[idx].remove(key)
         return removed
 
     def update_paddr(self, key: Hashable, paddr: int) -> None:
-        line = self._sets[self._set_index(key)].get(key)
+        line = self._sets[hash(key) % self.num_sets].get(key)
         if line is not None:
             line.paddr = paddr
 

@@ -66,7 +66,26 @@ def cmd_run(args) -> int:
         seed=args.seed,
         nomad_cfg=nomad_cfg,
     )
-    res = run_workload(cfg)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        from repro.harness.runner import clear_cache
+        from repro.workloads.synthetic import clear_trace_cache
+
+        # Memoized results/traces would hide the work being profiled.
+        clear_cache()
+        clear_trace_cache()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        res = run_workload(cfg)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(f"profile written to {args.profile} (binary pstats)")
+    else:
+        res = run_workload(cfg)
     if args.json:
         _emit_json({"config": cfg.to_dict(), "result": res.to_dict()})
         return 0
@@ -189,6 +208,58 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.harness import bench
+
+    measured = bench.run_bench(quick=args.quick, profile=not args.no_profile)
+
+    if args.update:
+        bench.update_report(args.file, measured)
+        print(f"updated 'current' entries in {args.file}")
+
+    problems: List[str] = []
+    committed = None
+    if args.check or args.update:
+        try:
+            committed = bench.load_report(args.file)
+        except FileNotFoundError:
+            print(f"error: no committed report at {args.file}", file=sys.stderr)
+            return 2
+        if args.check:
+            problems = bench.check_regression(committed, measured)
+
+    if args.json:
+        payload = {"measured": measured}
+        if problems:
+            payload["problems"] = problems
+        _emit_json(payload)
+    else:
+        rows = []
+        for name, entry in measured["scenarios"].items():
+            row = {
+                "scenario": name,
+                "runs_per_sec": entry["runs_per_sec"],
+                "events_per_sec": entry["events_per_sec"],
+                "normalized": entry["normalized"],
+            }
+            if committed is not None:
+                block = committed.get("scenarios", {}).get(name, {})
+                base = block.get("baseline")
+                if base and base.get("normalized"):
+                    row["speedup_vs_baseline"] = (
+                        entry["normalized"] / base["normalized"]
+                    )
+            rows.append(row)
+        print(format_table(rows, title="engine benchmark (normalized = "
+                                       "runs/sec per normalizer op/sec)"))
+        for p in problems:
+            print(p)
+
+    if any(p.startswith("FAIL") for p in problems):
+        return 1
+    return 0
+
+
 def cmd_list(_args) -> int:
     rows = [
         {
@@ -227,6 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--pcshrs", type=int, default=None)
     p_run.add_argument("--distributed", action="store_true",
                        help="distributed back-ends (NOMAD only)")
+    p_run.add_argument("--profile", default=None, metavar="PATH",
+                       help="cProfile the run; dump binary pstats to PATH "
+                            "and print the top 20 by cumulative time")
     add_common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -263,6 +337,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1 = sub.add_parser("table1", help="regenerate Table I")
     add_common(p_t1)
     p_t1.set_defaults(func=cmd_table1)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure engine throughput (perf-regression harness)"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke size only (skip the full scenario)")
+    p_bench.add_argument("--file", default="BENCH_engine.json",
+                         help="committed report path (default BENCH_engine.json)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="compare against the committed report; exit 1 "
+                              "on a >25%% normalized-throughput regression")
+    p_bench.add_argument("--update", action="store_true",
+                         help="rewrite the committed report's 'current' "
+                              "entries (baselines stay frozen)")
+    p_bench.add_argument("--no-profile", action="store_true",
+                         help="skip the cProfile phase breakdown")
+    p_bench.add_argument("--json", action="store_true",
+                         help="structured JSON output instead of tables")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_ls = sub.add_parser("list", help="list workloads and schemes")
     p_ls.set_defaults(func=cmd_list)

@@ -6,6 +6,13 @@ paper's evaluation reports: counters (miss counts), running means (tag
 management latency, DC access time), histograms (latency distributions),
 and bandwidth meters split by :class:`~repro.common.types.TrafficClass`
 (the Fig. 10 breakdown).
+
+Components on the per-access hot path do not pay for these objects per
+event: they accumulate plain int attributes and register a sync hook via
+:meth:`StatGroup.set_sync` that flushes the totals into the group the
+moment anyone *reads* it (``get``/``as_dict``/``names``/``in``).  The
+flush is idempotent (it overwrites with totals rather than adding), so
+repeated snapshots are safe.
 """
 
 from __future__ import annotations
@@ -72,6 +79,8 @@ class RunningMean:
 class Histogram:
     """A bucketed histogram with power-of-two or linear buckets."""
 
+    __slots__ = ("name", "bucket_width", "buckets", "count", "total")
+
     def __init__(self, name: str, bucket_width: int = 0):
         """``bucket_width`` of 0 selects power-of-two bucketing."""
         self.name = name
@@ -88,7 +97,15 @@ class Histogram:
         return 1 << (sample.bit_length() - 1)
 
     def add(self, sample: int) -> None:
-        self.buckets[self._bucket(sample)] += 1
+        # _bucket() inlined: this runs once per DC access.
+        width = self.bucket_width
+        if width:
+            bucket = (sample // width) * width
+        elif sample <= 0:
+            bucket = 0
+        else:
+            bucket = 1 << (sample.bit_length() - 1)
+        self.buckets[bucket] += 1
         self.count += 1
         self.total += sample
 
@@ -116,6 +133,8 @@ class Histogram:
 
 class BandwidthMeter:
     """Bytes transferred per traffic class; converts to GB/s on demand."""
+
+    __slots__ = ("name", "bytes_by_class")
 
     def __init__(self, name: str):
         self.name = name
@@ -152,11 +171,23 @@ class BandwidthMeter:
 
 
 class StatGroup:
-    """A named collection of statistics owned by one component."""
+    """A named collection of statistics owned by one component.
+
+    A component that counts on its hot path with plain int attributes
+    registers a flush hook via :meth:`set_sync`; the hook runs before
+    any read of the group, so external observers always see totals.
+    """
+
+    __slots__ = ("name", "_stats", "_sync")
 
     def __init__(self, name: str):
         self.name = name
         self._stats: Dict[str, object] = {}
+        self._sync: Optional[callable] = None
+
+    def set_sync(self, hook) -> None:
+        """Install ``hook()`` to flush owner-side counters before reads."""
+        self._sync = hook
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, Counter)
@@ -184,16 +215,24 @@ class StatGroup:
         return stat
 
     def __contains__(self, name: str) -> bool:
+        if self._sync is not None:
+            self._sync()
         return name in self._stats
 
     def names(self) -> Iterable[str]:
+        if self._sync is not None:
+            self._sync()
         return self._stats.keys()
 
     def get(self, name: str):
+        if self._sync is not None:
+            self._sync()
         return self._stats[name]
 
     def as_dict(self) -> Dict[str, object]:
         """Flatten to ``{stat_name: scalar}`` for reporting."""
+        if self._sync is not None:
+            self._sync()
         out: Dict[str, object] = {}
         for name, stat in self._stats.items():
             if isinstance(stat, Counter):

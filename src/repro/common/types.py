@@ -9,7 +9,6 @@ uses 64-byte cache lines.  All time is in integer CPU cycles.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional
 
 PAGE_SIZE = 4096
@@ -70,27 +69,45 @@ class TrafficClass(enum.IntEnum):
     PTW = 4
 
 
-@dataclass
 class MemAccess:
     """One memory access travelling through the hierarchy.
 
     ``addr`` is the virtual address as issued by the core; schemes record
     translation results in ``paddr``/``cache_addr`` as the access moves
     through the TLB and DRAM cache layers.
+
+    One instance is allocated per memory op, so this is a ``__slots__``
+    class and ``is_write`` is resolved once at construction instead of
+    being a property consulted at every hierarchy level.  ``meta`` stays
+    ``None`` unless a caller supplies one (nothing on the demand path
+    reads it, so the per-op empty dict would be pure allocation churn).
     """
 
-    addr: int
-    access_type: AccessType
-    core_id: int
-    issue_time: int
-    size: int = CACHE_LINE_SIZE
-    paddr: Optional[int] = None
-    cache_addr: Optional[int] = None
-    meta: dict = field(default_factory=dict)
+    __slots__ = (
+        "addr", "access_type", "core_id", "issue_time", "size",
+        "paddr", "cache_addr", "meta", "is_write",
+    )
 
-    @property
-    def is_write(self) -> bool:
-        return self.access_type == AccessType.STORE
+    def __init__(
+        self,
+        addr: int,
+        access_type: AccessType,
+        core_id: int,
+        issue_time: int,
+        size: int = CACHE_LINE_SIZE,
+        paddr: Optional[int] = None,
+        cache_addr: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ):
+        self.addr = addr
+        self.access_type = access_type
+        self.core_id = core_id
+        self.issue_time = issue_time
+        self.size = size
+        self.paddr = paddr
+        self.cache_addr = cache_addr
+        self.meta = meta
+        self.is_write = access_type == AccessType.STORE
 
     @property
     def vpn(self) -> int:
@@ -99,3 +116,9 @@ class MemAccess:
     @property
     def sub_block(self) -> int:
         return sub_block_of(self.addr)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemAccess(addr={self.addr:#x}, {self.access_type.name}, "
+            f"core={self.core_id}, t={self.issue_time})"
+        )

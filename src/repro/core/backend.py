@@ -64,6 +64,10 @@ class Backend(Component, DataManager):
         self.pcshrs = [PCSHR(i, cfg.sub_entries_per_pcshr) for i in range(n)]
         self._free: deque = deque(self.pcshrs)
         self._by_cfn: Dict[int, PCSHR] = {}
+        # probe() runs on every DC access; the dict is never rebound, so
+        # the instance attribute shadows the method (kept below as the
+        # documented contract) with a single bound dict lookup.
+        self.probe = self._by_cfn.get
         self.buffers = PageCopyBufferPool(sim, m)
         self._cmd_waiters: deque = deque()
 

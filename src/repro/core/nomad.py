@@ -26,6 +26,8 @@ from repro.core.frontend import FrontEnd
 from repro.engine.simulator import Simulator
 from repro.schemes.base import SchemeBase, is_dc_addr
 
+_DEMAND = TrafficClass.DEMAND
+
 
 class NomadScheme(SchemeBase):
     """The paper's proposal."""
@@ -63,6 +65,12 @@ class NomadScheme(SchemeBase):
         )
         self.frontend.attach_tlbs(self.tlbs)
         self._data_hits_fast = self.stats.counter("uncached_accesses")
+        # dc_access bindings: one probe + CPD poke per LLC miss.
+        self._probe = self.backend.probe
+        self._cpd_list = self.frontend.cpds._cpds
+        self._pcshr_lookup = nomad_cfg.pcshr_lookup_latency
+        self._hbm_access = self.hbm.access
+        self._ddr_access = self.ddr.access
 
     # -- OS integration -----------------------------------------------------
 
@@ -96,37 +104,35 @@ class NomadScheme(SchemeBase):
         if not is_dc_addr(paddr):
             # Uncached page: behaves like the conventional memory system.
             self._data_hits_fast.inc()
-            self.ddr.access(
-                paddr, access.is_write, TrafficClass.DEMAND,
-                callback=lambda: fill_cb(self.sim.now),
+            self._ddr_access(
+                paddr, access.is_write, _DEMAND,
+                lambda: fill_cb(self.sim.now),
             )
             return
 
         hbm_addr = paddr & ~DC_SPACE_BIT
         cfn = hbm_addr >> 12
-        sub = (hbm_addr >> 6) & 63
-        lookup = self.nomad_cfg.pcshr_lookup_latency
-        pcshr = self.backend.probe(cfn)
+        lookup = self._pcshr_lookup
+        pcshr = self._probe(cfn)
 
         if pcshr is None:
             # No matched tag: the whole page is resident (data hit).
             self.backend.note_data_hit()
             if access.is_write:
-                self.frontend.cpds[cfn].dirty_in_cache = True
+                self._cpd_list[cfn].dirty_in_cache = True
 
             def _done() -> None:
                 end = self.sim.now + lookup
                 self._record_dc_access(start, end)
                 fill_cb(end)
 
-            self.hbm.access(
-                hbm_addr, access.is_write, TrafficClass.DEMAND, callback=_done
-            )
+            self._hbm_access(hbm_addr, access.is_write, _DEMAND, _done)
             return
 
         # Data miss: the page is still in transfer.
+        sub = (hbm_addr >> 6) & 63
         if access.is_write:
-            self.frontend.cpds[cfn].dirty_in_cache = True
+            self._cpd_list[cfn].dirty_in_cache = True
             t = self.backend.write_data_miss(pcshr, sub) + lookup
             self.sim.schedule_at(t, lambda: fill_cb(t))
             self._record_dc_access(start, t)

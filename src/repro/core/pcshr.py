@@ -149,18 +149,24 @@ class PCSHR:
         return entry
 
     def sync(self, now: int) -> None:
-        """Bring the derived B/W bit vectors up to date with ``now``."""
+        """Bring the derived B/W bit vectors up to date with ``now``.
+
+        Accumulates each vector's new bits in a local int and ORs once
+        (128 BitVector.set calls per sync otherwise).
+        """
         if self.arrival_times is not None:
+            bits = 0
             for i, t in enumerate(self.arrival_times):
                 if t <= now:
-                    self.b_vector.set(i)
-        for i, written in enumerate(self.cpu_written):
-            if written:
-                self.b_vector.set(i)
+                    bits |= 1 << i
+            self.b_vector._bits |= bits
+        self.b_vector._bits |= self.cpu_written._bits
         if self.write_times is not None:
+            bits = 0
             for i, t in enumerate(self.write_times):
                 if t <= now:
-                    self.w_vector.set(i)
+                    bits |= 1 << i
+            self.w_vector._bits |= bits
         for entry in self.sub_entries:
             if entry.valid and self.sub_block_in_buffer(entry.sub_index, now):
                 entry.valid = False

@@ -32,6 +32,9 @@ from repro.common.types import AccessType, MemAccess
 from repro.config.system import CoreConfig
 from repro.engine.simulator import Component, Simulator
 
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE
+
 
 class Core(Component):
     """One simulated core executing a single-threaded trace."""
@@ -52,7 +55,21 @@ class Core(Component):
         self.rob_size = cfg.rob_size
         self.scheme = scheme
         self.trace = iter(trace)
+        self._next_op = self.trace.__next__  # bound once; called per op
         self.on_finish = on_finish
+        # Bind the two per-op scheme calls once.  Real schemes expose
+        # .tlbs / .hierarchy; test doubles may only implement the
+        # tlb_lookup / hierarchy_access methods, so fall back to those.
+        tlbs = getattr(scheme, "tlbs", None)
+        if tlbs is not None:
+            self._tlb = tlbs[core_id]
+            self._tlb_lookup = tlbs[core_id].lookup
+        else:
+            self._tlb = None
+            self._tlb_lookup = lambda vpn: scheme.tlb_lookup(core_id, vpn)
+        hier = getattr(scheme, "hierarchy", None)
+        self._hier_access = hier.access if hier is not None else scheme.hierarchy_access
+        self._translate = scheme.translate_addr
 
         # Dispatch-clock state (may run ahead of sim.now).
         self.dispatch_cycles = 0
@@ -116,27 +133,43 @@ class Core(Component):
         if self.done or self._dep_wait is not None:
             return
         self._waiting = False
+        # Loop-invariant attributes bound once per activation (the loop
+        # body runs once per trace op).
+        width = self.width
+        rob_size = self.rob_size
+        outstanding = self.outstanding
+        next_op = self._next_op
+        tlb_lookup = self._tlb_lookup
+        # L1-TLB-hit fast path bound here; mirrors the top of TLB.lookup
+        # (which stays the reference implementation -- keep in sync).
+        tlb = self._tlb
+        if tlb is not None:
+            tlb_l1 = tlb._l1
+            l1_get = tlb_l1.get
+            l1_move = tlb_l1.move_to_end
+            l2_move = tlb._l2.move_to_end
         while True:
             if self._pending_op is None:
-                item = next(self.trace, None)
-                if item is None:
+                try:
+                    item = next_op()
+                except StopIteration:
                     self._finish_dispatch()
                     return
                 self._pending_op = item
                 gap = item[0]
                 total = self._slack + gap + 1
-                self._d_candidate = self.dispatch_cycles + total // self.width
-                self._slack_next = total % self.width
+                self._d_candidate = self.dispatch_cycles + total // width
+                self._slack_next = total % width
                 self._idx_candidate = self.inst_count + gap + 1
 
             d = self._d_candidate
             idx = self._idx_candidate
 
             # ROB window: retire loads that are rob_size older than idx.
-            window_limit = idx - self.rob_size
+            window_limit = idx - rob_size
             blocked = False
-            while self.outstanding and self.outstanding[0][0] <= window_limit:
-                head = self.outstanding[0]
+            while outstanding and outstanding[0][0] <= window_limit:
+                head = outstanding[0]
                 if head[1] is None:
                     self._waiting = True
                     blocked = True
@@ -144,7 +177,7 @@ class Core(Component):
                 if head[1] > d:
                     self.window_stall_cycles += head[1] - d
                     d = head[1]
-                self.outstanding.popleft()
+                outstanding.popleft()
             if blocked:
                 self._d_candidate = d
                 return
@@ -157,7 +190,18 @@ class Core(Component):
 
             _, addr, is_write, dependent = self._pending_op
             vpn = addr >> 12
-            tlb_result = self.scheme.tlb_lookup(self.core_id, vpn)
+            if tlb is not None:
+                pte = l1_get(vpn)
+                if pte is not None:
+                    l1_move(vpn)
+                    l2_move(vpn)
+                    tlb.l1_hits += 1
+                    if not self._issue_and_handle_dep(
+                        pte, 0, d, addr, is_write, idx, dependent
+                    ):
+                        return
+                    continue
+            tlb_result = tlb_lookup(vpn)
             if tlb_result is None:
                 self.tlb_misses += 1
                 pte, walk, needs_os = self.scheme.peek_translate(self.core_id, vpn)
@@ -217,30 +261,19 @@ class Core(Component):
     def _issue_and_handle_dep(
         self, pte, extra_lat, d, addr, is_write, idx, dependent
     ) -> bool:
-        """Issue one op; returns False when dispatch must pause."""
-        finished = self._issue(pte, extra_lat, d, addr, is_write, idx)
-        if not dependent or is_write:
-            return True
-        if finished is None:
-            # outstanding[-1] is the entry just appended by _issue.
-            self._dep_wait = self.outstanding[-1]
-            return False
-        if finished > self.dispatch_cycles:
-            self.dep_stall_cycles += finished - self.dispatch_cycles
-            self.dispatch_cycles = finished
-        return True
+        """Issue one op into the hierarchy; False pauses dispatch.
 
-    def _issue(
-        self, pte, extra_lat: int, d: int, addr: int, is_write: bool, idx: int
-    ) -> Optional[int]:
-        """Send the access into the hierarchy; returns sync completion."""
+        Runs once per memory op (the former separate ``_issue`` helper
+        is folded in to drop a call frame).
+        """
+        issue_time = d + extra_lat
         access = MemAccess(
-            addr=addr,
-            access_type=AccessType.STORE if is_write else AccessType.LOAD,
-            core_id=self.core_id,
-            issue_time=d + extra_lat,
+            addr,
+            _STORE if is_write else _LOAD,
+            self.core_id,
+            issue_time,
         )
-        access.paddr = self.scheme.translate_addr(pte, addr)
+        access.paddr = self._translate(pte, addr)
         self.mem_ops += 1
         entry = None
         if is_write:
@@ -251,7 +284,7 @@ class Core(Component):
             entry = [idx, None]
             self.outstanding.append(entry)
             callback = self._make_load_done(entry)
-        completion = self.scheme.hierarchy_access(access, d + extra_lat, callback)
+        completion = self._hier_access(access, issue_time, callback)
         if is_write and completion is None:
             self.outstanding_stores += 1
         # Commit dispatch-state for this op.
@@ -262,7 +295,17 @@ class Core(Component):
         self._d_candidate = None
         if completion is not None and entry is not None:
             entry[1] = completion
-        return completion
+
+        if not dependent or is_write:
+            return True
+        if completion is None:
+            # ``entry`` is the load appended above.
+            self._dep_wait = entry
+            return False
+        if completion > self.dispatch_cycles:
+            self.dep_stall_cycles += completion - self.dispatch_cycles
+            self.dispatch_cycles = completion
+        return True
 
     def _store_done(self, t: int) -> None:
         """A missed store drained; unblock dispatch if the buffer was full."""

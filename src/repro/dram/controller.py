@@ -10,11 +10,18 @@ computed at enqueue (first-come-first-served with open-page row-buffer
 state).  FR-FCFS reordering is approximated: sequential streams (page
 copies, line fills) arrive in row order and therefore still enjoy the
 row-buffer hits an FR-FCFS scheduler would create.
+
+``enqueue`` is the single hottest method of a run (one call per 64 B
+burst), so it inlines the :class:`~repro.dram.bank.Bank` row-buffer
+state machine and accumulates statistics in plain int attributes that
+are flushed into the :class:`StatGroup` only when it is read (see
+:meth:`StatGroup.set_sync`).  ``Bank.access`` remains the reference
+implementation of the state machine; keep the two in sync.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.common.types import TrafficClass
 from repro.dram.bank import Bank
@@ -36,13 +43,48 @@ class ChannelController(Component):
         self.timing = timing
         self.banks = [Bank() for _ in range(num_banks)]
         self.bus_free_at = 0
-        self._row_hits = self.stats.counter("row_hits")
-        self._row_closed = self.stats.counter("row_closed")
-        self._row_conflicts = self.stats.counter("row_conflicts")
-        self._reads = self.stats.counter("reads")
-        self._writes = self.stats.counter("writes")
-        self._bw = self.stats.bandwidth("bytes")
-        self._latency = self.stats.mean("burst_latency")
+        # Timing components bound to locals of the instance; enqueue never
+        # dereferences the timing object.
+        self._trcd = timing.trcd
+        self._trp = timing.trp
+        self._tcas = timing.tcas
+        self._tburst = timing.tburst
+        self._tras = timing.tras
+        # Hot-path counters (flushed lazily into self.stats).
+        self.row_hits = 0
+        self.row_closed = 0
+        self.row_conflicts = 0
+        self.reads = 0
+        self.writes = 0
+        self.bytes_by_class: Dict[TrafficClass, int] = {}
+        self._lat_count = 0
+        self._lat_total = 0
+        self._lat_min: Optional[int] = None
+        self._lat_max: Optional[int] = None
+        self.stats.counter("row_hits")
+        self.stats.counter("row_closed")
+        self.stats.counter("row_conflicts")
+        self.stats.counter("reads")
+        self.stats.counter("writes")
+        self.stats.bandwidth("bytes")
+        self.stats.mean("burst_latency")
+        self.stats.set_sync(self._sync_stats)
+
+    def _sync_stats(self) -> None:
+        stats = self.stats._stats
+        stats["row_hits"].value = self.row_hits
+        stats["row_closed"].value = self.row_closed
+        stats["row_conflicts"].value = self.row_conflicts
+        stats["reads"].value = self.reads
+        stats["writes"].value = self.writes
+        bw = stats["bytes"]
+        for tc, b in self.bytes_by_class.items():
+            bw.bytes_by_class[tc] = b
+        lat = stats["burst_latency"]
+        lat.count = self._lat_count
+        lat.total = self._lat_total
+        lat.min = self._lat_min
+        lat.max = self._lat_max
 
     def enqueue(
         self,
@@ -56,31 +98,57 @@ class ChannelController(Component):
 
         ``callback`` (if given) fires at completion.
         """
-        now = self.now
+        now = self.sim.now
         bank = self.banks[bank_index]
-        data_ready, outcome = bank.access(row, now, self.timing)
-        start = max(data_ready, self.bus_free_at)
-        end = start + self.timing.tburst
+
+        # Bank.access inlined (row-buffer state machine, open-page policy).
+        ready_at = bank.ready_at
+        start = now if now > ready_at else ready_at
+        open_row = bank.open_row
+        if open_row == row:
+            self.row_hits += 1
+            column = start
+        elif open_row is None:
+            self.row_closed += 1
+            column = start + self._trcd  # activate at `start`
+            bank.activated_at = start
+        else:
+            self.row_conflicts += 1
+            # Respect tRAS before precharging the currently open row.
+            precharge = bank.activated_at + self._tras
+            if start > precharge:
+                precharge = start
+            activate = precharge + self._trp
+            column = activate + self._trcd
+            bank.activated_at = activate
+        bank.open_row = row
+        bank.ready_at = column + self._tburst
+        data_ready = column + self._tcas
+
+        bus_free = self.bus_free_at
+        start = data_ready if data_ready > bus_free else bus_free
+        end = start + self._tburst
         self.bus_free_at = end
 
-        if outcome == "hit":
-            self._row_hits.inc()
-        elif outcome == "closed":
-            self._row_closed.inc()
-        else:
-            self._row_conflicts.inc()
         if is_write:
-            self._writes.inc()
+            self.writes += 1
         else:
-            self._reads.inc()
-        self._bw.record(traffic_class, 64)
-        self._latency.add(end - now)
+            self.reads += 1
+        by_class = self.bytes_by_class
+        by_class[traffic_class] = by_class.get(traffic_class, 0) + 64
+        latency = end - now
+        self._lat_count += 1
+        self._lat_total += latency
+        if self._lat_min is None or latency < self._lat_min:
+            self._lat_min = latency
+        if self._lat_max is None or latency > self._lat_max:
+            self._lat_max = latency
 
         if callback is not None:
-            self.sim.schedule(end - now, callback)
+            self.sim.schedule(latency, callback)
         return end
 
     @property
     def row_hit_rate(self) -> float:
-        total = self._row_hits.value + self._row_closed.value + self._row_conflicts.value
-        return self._row_hits.value / total if total else 0.0
+        total = self.row_hits + self.row_closed + self.row_conflicts
+        return self.row_hits / total if total else 0.0

@@ -31,7 +31,18 @@ class DRAMDevice(Component):
             ChannelController(sim, f"{name}.ch{i}", self.timing, cfg.banks_per_channel)
             for i in range(cfg.num_channels)
         ]
-        self._accesses = self.stats.counter("accesses")
+        # Address-map geometry cached for the inlined decode in access().
+        self._num_channels = self.address_map.num_channels
+        self._banks_per_channel = self.address_map.banks_per_channel
+        self._bursts_per_row = self.address_map.bursts_per_row
+        self._enqueues = [ch.enqueue for ch in self.channels]
+        self._schedule = sim.schedule
+        self.access_count = 0
+        self.stats.counter("accesses")
+        self.stats.set_sync(self._sync_stats)
+
+    def _sync_stats(self) -> None:
+        self.stats._stats["accesses"].value = self.access_count
 
     def access(
         self,
@@ -40,12 +51,68 @@ class DRAMDevice(Component):
         traffic_class: TrafficClass,
         callback: Optional[Callable[[], None]] = None,
     ) -> int:
-        """One 64 B burst at ``addr``; returns completion time."""
-        decoded = self.address_map.decode(addr)
-        self._accesses.inc()
-        return self.channels[decoded.channel].enqueue(
-            decoded.bank, decoded.row, is_write, traffic_class, callback
-        )
+        """One 64 B burst at ``addr``; returns completion time.
+
+        Every simulated byte moves through here, so both AddressMap.decode
+        and ChannelController.enqueue are inlined (each stays the
+        reference implementation -- keep them in sync).
+        """
+        burst = addr >> 6
+        local = burst // self._num_channels
+        row_global = local // self._bursts_per_row
+        self.access_count += 1
+        ch = self.channels[burst % self._num_channels]
+        bank = ch.banks[row_global % self._banks_per_channel]
+        row = row_global // self._banks_per_channel
+
+        # Bank.access inlined (row-buffer state machine, open-page policy).
+        now = self.sim.now
+        ready_at = bank.ready_at
+        start = now if now > ready_at else ready_at
+        open_row = bank.open_row
+        if open_row == row:
+            ch.row_hits += 1
+            column = start
+        elif open_row is None:
+            ch.row_closed += 1
+            column = start + ch._trcd  # activate at `start`
+            bank.activated_at = start
+        else:
+            ch.row_conflicts += 1
+            # Respect tRAS before precharging the currently open row.
+            precharge = bank.activated_at + ch._tras
+            if start > precharge:
+                precharge = start
+            activate = precharge + ch._trp
+            column = activate + ch._trcd
+            bank.activated_at = activate
+        bank.open_row = row
+        tburst = ch._tburst
+        bank.ready_at = column + tburst
+        data_ready = column + ch._tcas
+
+        bus_free = ch.bus_free_at
+        start = data_ready if data_ready > bus_free else bus_free
+        end = start + tburst
+        ch.bus_free_at = end
+
+        if is_write:
+            ch.writes += 1
+        else:
+            ch.reads += 1
+        by_class = ch.bytes_by_class
+        by_class[traffic_class] = by_class.get(traffic_class, 0) + 64
+        latency = end - now
+        ch._lat_count += 1
+        ch._lat_total += latency
+        if ch._lat_min is None or latency < ch._lat_min:
+            ch._lat_min = latency
+        if ch._lat_max is None or latency > ch._lat_max:
+            ch._lat_max = latency
+
+        if callback is not None:
+            self._schedule(latency, callback)
+        return end
 
     def access_range(
         self,
@@ -87,16 +154,16 @@ class DRAMDevice(Component):
 
     @property
     def row_hit_rate(self) -> float:
-        hits = sum(ch.stats.get("row_hits").value for ch in self.channels)
+        hits = sum(ch.row_hits for ch in self.channels)
         total = hits
-        total += sum(ch.stats.get("row_closed").value for ch in self.channels)
-        total += sum(ch.stats.get("row_conflicts").value for ch in self.channels)
+        total += sum(ch.row_closed for ch in self.channels)
+        total += sum(ch.row_conflicts for ch in self.channels)
         return hits / total if total else 0.0
 
     def bytes_by_class(self) -> dict:
         out: dict = {}
         for ch in self.channels:
-            for tc, b in ch.stats.get("bytes").bytes_by_class.items():
+            for tc, b in ch.bytes_by_class.items():
                 out[tc] = out.get(tc, 0) + b
         return out
 

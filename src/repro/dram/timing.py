@@ -2,20 +2,40 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.config.dram import DRAMTimingConfig
 
 
 @dataclass(frozen=True)
 class ResolvedTiming:
-    """All DRAM timings in CPU cycles for a given core frequency."""
+    """All DRAM timings in CPU cycles for a given core frequency.
+
+    The per-outcome access latencies (row hit / closed / conflict) are
+    precomputed once at construction so the per-burst hot path reads a
+    stored int instead of re-summing components through a property call.
+    """
 
     trcd: int
     trp: int
     tcas: int
     tburst: int
     tras: int
+    row_hit_latency: int = field(init=False)
+    row_closed_latency: int = field(init=False)
+    row_conflict_latency: int = field(init=False)
+
+    def __post_init__(self):
+        # Column command to end of data, per row-buffer outcome.
+        object.__setattr__(self, "row_hit_latency", self.tcas + self.tburst)
+        object.__setattr__(
+            self, "row_closed_latency", self.trcd + self.tcas + self.tburst
+        )
+        object.__setattr__(
+            self,
+            "row_conflict_latency",
+            self.trp + self.trcd + self.tcas + self.tburst,
+        )
 
     @classmethod
     def from_config(cls, cfg: DRAMTimingConfig, cpu_ghz: float) -> "ResolvedTiming":
@@ -26,16 +46,3 @@ class ResolvedTiming:
             tburst=cfg.cycles(cfg.burst_ns, cpu_ghz),
             tras=cfg.cycles(cfg.tras_ns, cpu_ghz),
         )
-
-    @property
-    def row_hit_latency(self) -> int:
-        """Column command to end of data for an open-row access."""
-        return self.tcas + self.tburst
-
-    @property
-    def row_closed_latency(self) -> int:
-        return self.trcd + self.tcas + self.tburst
-
-    @property
-    def row_conflict_latency(self) -> int:
-        return self.trp + self.trcd + self.tcas + self.tburst

@@ -5,26 +5,44 @@ the same cycle fire in scheduling order.  Determinism matters here: the
 paper's contention effects (mutex queueing in the NOMAD front-end, PCSHR
 allocation races) must be reproducible run-to-run for the experiment
 harness to produce stable tables.
+
+Hot-path layout: the heap holds ``(time, seq, event)`` tuples so heap
+sifting compares plain ints and never calls back into Python-level
+``__lt__`` (``seq`` is unique, so the event object itself is never
+compared).  Cancellation stays a tombstone on the :class:`Event` handle,
+but a live-event counter is maintained on push/pop/cancel so ``len()``
+is O(1).  The simulator's run loop reads ``_heap``/``_live`` directly;
+any change to this layout must be mirrored there.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple
+from typing import Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """One scheduled callback.  Cancellation is a tombstone flag."""
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None], queue):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        # Back-reference for the live counter; cleared once the event is
+        # popped (cancelling an already-fired event must not decrement).
+        self._queue = queue
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._live -= 1
+            self._queue = None
 
 
 class EventQueue:
@@ -33,31 +51,41 @@ class EventQueue:
     def __init__(self):
         self._heap: list = []
         self._seq = 0
+        self._live = 0
 
     def push(self, time: int, callback: Callable[[], None]) -> Event:
         if time < 0:
             raise ValueError(f"cannot schedule at negative time {time}")
-        event = Event(time, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Pop the next live event, skipping tombstones; None when empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                self._live -= 1
+                event._queue = None
                 return event
         return None
 
     def peek_time(self) -> Optional[int]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if not entry[2].cancelled:
+                return entry[0]
+            heapq.heappop(heap)
+        return None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     @property
     def empty(self) -> bool:
-        return self.peek_time() is None
+        return self._live == 0

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, List, Optional
 
 from repro.common.stats import StatGroup
@@ -21,6 +22,7 @@ class Simulator:
         self._queue = EventQueue()
         self._components: List["Component"] = []
         self._stopped = False
+        self.events_processed = 0  # cumulative across run() calls
 
     def register(self, component: "Component") -> None:
         self._components.append(component)
@@ -30,16 +32,34 @@ class Simulator:
         return list(self._components)
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        """Schedule ``callback`` to fire ``delay`` cycles from now.
+
+        Body mirrors :meth:`EventQueue.push` (layout contract in the
+        queue docstring) so every scheduled event pays one call frame,
+        not two.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self._queue.push(self.now + delay, callback)
+        queue = self._queue
+        time = self.now + delay
+        seq = queue._seq
+        queue._seq = seq + 1
+        event = Event(time, seq, callback, queue)
+        heapq.heappush(queue._heap, (time, seq, event))
+        queue._live += 1
+        return event
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at an absolute time >= now."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        return self._queue.push(time, callback)
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        event = Event(time, seq, callback, queue)
+        heapq.heappush(queue._heap, (time, seq, event))
+        queue._live += 1
+        return event
 
     def stop(self) -> None:
         """Request the run loop to exit after the current event."""
@@ -54,21 +74,51 @@ class Simulator:
         """
         processed = 0
         self._stopped = False
+        # This loop dispatches every event of every run, so it works on
+        # the EventQueue internals directly (tuple heap entries, the live
+        # counter) instead of paying a peek+pop call pair per event; the
+        # queue docstring pins the layout contract.
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        if until is None and max_events is None:
+            # The common, unbounded call: drop the two bound checks from
+            # the loop.  Popping before the cancelled check is equivalent
+            # to peeking here because a cancelled head is discarded either
+            # way and a live head is popped next anyway.
+            while heap and not self._stopped:
+                entry = heappop(heap)
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                queue._live -= 1
+                event._queue = None
+                self.now = entry[0]
+                event.callback()
+                processed += 1
+            self.events_processed += processed
+            return processed
         while not self._stopped:
             if max_events is not None and processed >= max_events:
                 break
-            next_time = self._queue.peek_time()
-            if next_time is None:
+            if not heap:
                 break
-            if until is not None and next_time > until:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            time = entry[0]
+            if until is not None and time > until:
                 self.now = until
                 break
-            event = self._queue.pop()
-            if event is None:
-                break
-            self.now = event.time
+            heappop(heap)
+            queue._live -= 1
+            event._queue = None
+            self.now = time
             event.callback()
             processed += 1
+        self.events_processed += processed
         return processed
 
     @property

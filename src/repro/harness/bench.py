@@ -1,0 +1,216 @@
+"""Perf-regression benchmark for the simulator core.
+
+Measures end-to-end throughput of the reference comparison (nomad + tdc
+on ``cact``) the way the pre-optimization baseline was captured: a fresh
+machine is built per repetition and only ``Machine.run()`` -- the event
+loop -- is timed.  Two scenario sizes exist: ``full`` (the committed
+speedup claim) and ``quick`` (CI perf smoke).
+
+Absolute runs/sec are machine-dependent, so every report also runs a
+fixed pure-Python *normalizer* loop and reports throughput relative to
+it.  Comparing ``normalized`` values cancels out how fast the host
+happens to be, which is what lets CI compare against numbers committed
+from a different machine (``python -m repro bench --check``).
+
+Results are stored in ``BENCH_engine.json`` at the repo root; the
+``baseline`` entries in that file are frozen pre-optimization
+measurements and must not be regenerated (``--update`` only rewrites the
+``current`` entries).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.system import scaled_system
+from repro.system.builder import build_machine
+
+BENCH_SCHEMES = ("nomad", "tdc")
+BENCH_WORKLOAD = "cact"
+BENCH_SEED = 1
+
+# (ops per core, cores, DC megabytes, repetitions of the scheme pair).
+SCENARIOS: Dict[str, Tuple[int, int, int, int]] = {
+    "full": (6000, 4, 64, 3),
+    "quick": (1500, 2, 16, 2),
+}
+
+# CI gate: fail when normalized throughput drops more than this fraction
+# below the committed ``current`` entry; smaller drops only warn.
+REGRESSION_FAIL_FRAC = 0.25
+
+
+def normalizer_score(n: int = 300_000) -> float:
+    """Ops/sec of a fixed dict+int loop; calibrates the host's speed.
+
+    This function is part of the committed-numbers contract: changing it
+    invalidates every ``normalized`` value in BENCH_engine.json.
+    """
+    best = 0.0
+    for _ in range(3):
+        t0 = time.perf_counter()
+        d = {}
+        acc = 0
+        for i in range(n):
+            d[i & 1023] = acc
+            acc += i ^ (acc >> 3)
+        rate = n / (time.perf_counter() - t0)
+        if rate > best:
+            best = rate
+    return best
+
+
+def _measure(ops: int, cores: int, dc_mb: int, reps: int) -> Tuple[List[float], int]:
+    """Time ``reps`` nomad+tdc pairs; returns (per-run walls, total events)."""
+    walls: List[float] = []
+    events = 0
+    for _rep in range(reps):
+        for scheme in BENCH_SCHEMES:
+            cfg = scaled_system(num_cores=cores, dc_megabytes=dc_mb)
+            machine = build_machine(
+                scheme, workload_name=BENCH_WORKLOAD, cfg=cfg,
+                num_mem_ops=ops, seed=BENCH_SEED,
+            )
+            t0 = time.perf_counter()
+            machine.run()
+            walls.append(time.perf_counter() - t0)
+            events += machine.sim.events_processed
+    return walls, events
+
+
+def _profile_phases(ops: int, cores: int, dc_mb: int, top: int = 12) -> Dict[str, list]:
+    """cProfile the build and run phases separately; top-N by tottime."""
+    from repro.workloads.synthetic import clear_trace_cache
+
+    out: Dict[str, list] = {}
+    clear_trace_cache()  # so the build phase profiles real generation
+    cfg = scaled_system(num_cores=cores, dc_megabytes=dc_mb)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    machine = build_machine(
+        BENCH_SCHEMES[0], workload_name=BENCH_WORKLOAD, cfg=cfg,
+        num_mem_ops=ops, seed=BENCH_SEED,
+    )
+    profiler.disable()
+    out["build"] = _top_entries(profiler, top)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    machine.run()
+    profiler.disable()
+    out["run"] = _top_entries(profiler, top)
+    return out
+
+
+def _top_entries(profiler: cProfile.Profile, top: int) -> list:
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        filename, lineno, name = func
+        rows.append({
+            "function": f"{filename.rsplit('/', 1)[-1]}:{lineno}:{name}",
+            "ncalls": nc,
+            "tottime": round(tt, 4),
+            "cumtime": round(ct, 4),
+        })
+    rows.sort(key=lambda r: r["tottime"], reverse=True)
+    return rows[:top]
+
+
+def run_scenario(name: str) -> Dict:
+    """One scenario's measurement block (the ``current`` entry shape)."""
+    ops, cores, dc_mb, reps = SCENARIOS[name]
+    normalizer = normalizer_score()
+    walls, events = _measure(ops, cores, dc_mb, reps)
+    total = sum(walls)
+    runs_per_sec = len(walls) / total
+    return {
+        "params": {"ops": ops, "cores": cores, "dc_mb": dc_mb, "reps": reps,
+                   "schemes": list(BENCH_SCHEMES), "workload": BENCH_WORKLOAD,
+                   "seed": BENCH_SEED},
+        "runs_per_sec": runs_per_sec,
+        "events_per_sec": events / total,
+        "events": events,
+        "wall_total_sec": total,
+        "normalizer_ops_per_sec": normalizer,
+        "normalized": runs_per_sec / normalizer,
+    }
+
+
+def run_bench(quick: bool = False, profile: bool = True) -> Dict:
+    """Measure the selected scenarios; returns the report dict."""
+    names = ["quick"] if quick else ["full", "quick"]
+    report: Dict = {"scenarios": {}}
+    for name in names:
+        report["scenarios"][name] = run_scenario(name)
+    if profile:
+        ops, cores, dc_mb, _ = SCENARIOS["quick" if quick else "full"]
+        report["profile"] = _profile_phases(ops, cores, dc_mb)
+    return report
+
+
+# -- committed-report handling -------------------------------------------------
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_regression(committed: Dict, measured: Dict) -> List[str]:
+    """Compare measured scenarios to a committed report.
+
+    Returns a list of problem strings; entries starting with ``FAIL``
+    gate CI, ``warn`` entries do not.  The comparison is on *normalized*
+    throughput so a slower/faster CI host cancels out.
+    """
+    problems: List[str] = []
+    for name, entry in measured["scenarios"].items():
+        ref = committed.get("scenarios", {}).get(name, {}).get("current")
+        if ref is None:
+            problems.append(f"warn: no committed 'current' entry for {name!r}")
+            continue
+        got = entry["normalized"]
+        want = ref["normalized"]
+        if want <= 0:
+            problems.append(f"warn: committed normalized for {name!r} is {want}")
+            continue
+        drop = 1.0 - got / want
+        if drop > REGRESSION_FAIL_FRAC:
+            problems.append(
+                f"FAIL: {name} normalized throughput {got:.3e} is "
+                f"{drop:.0%} below committed {want:.3e}"
+            )
+        elif drop > 0.10:
+            problems.append(
+                f"warn: {name} normalized throughput {got:.3e} is "
+                f"{drop:.0%} below committed {want:.3e}"
+            )
+    return problems
+
+
+def update_report(path: str, measured: Dict) -> Dict:
+    """Rewrite ``current`` entries (and speedups) in the committed file.
+
+    ``baseline`` entries are frozen pre-optimization measurements and are
+    left untouched.
+    """
+    committed = load_report(path)
+    for name, entry in measured["scenarios"].items():
+        block = committed.setdefault("scenarios", {}).setdefault(name, {})
+        block["current"] = entry
+        base = block.get("baseline")
+        if base and base.get("normalized"):
+            block["speedup_normalized"] = entry["normalized"] / base["normalized"]
+    if "profile" in measured:
+        committed["profile"] = measured["profile"]
+    with open(path, "w") as fh:
+        json.dump(committed, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return committed

@@ -78,6 +78,18 @@ class SchemeBase(Component):
         self._fills = self.stats.counter("page_fills")
         self._writebacks = self.stats.counter("page_writebacks")
 
+        # _record_dc_access runs once per LLC miss, so it accumulates
+        # plain ints and _sync_dc_stats flushes them into the StatGroup
+        # objects above on read (see the stats module docstring).  The
+        # fill/writeback counters stay direct Counter objects: they fire
+        # at page, not line, granularity.
+        self._dc_time_count = 0
+        self._dc_time_total = 0
+        self._dc_time_min: Optional[int] = None
+        self._dc_time_max: Optional[int] = None
+        self._dc_hist_buckets: dict = {}
+        self.stats.set_sync(self._sync_dc_stats)
+
     # -- TLB directory hooks (overridden where CPDs exist) ----------------
 
     def _make_tlb_hook(self, core_id: int, installed: bool):
@@ -135,11 +147,15 @@ class SchemeBase(Component):
         self.sim.schedule_at(ready, lambda: done(ready, pte))
 
     def translate_addr(self, pte: PTE, addr: int) -> int:
-        """Virtual byte address -> routed (DC- or PA-space) address."""
-        offset = addr & (PAGE_SIZE - 1)
+        """Virtual byte address -> routed (DC- or PA-space) address.
+
+        Runs once per post-TLB access, so the dc_addr/pa_addr helpers are
+        inlined as shift-and-or (PAGE_SIZE is 4096 and the offset stays
+        below it, so ``pfn * PAGE_SIZE + offset == (pfn << 12) | offset``).
+        """
         if pte.cached:
-            return dc_addr(pte.page_frame_num, offset)
-        return pa_addr(pte.page_frame_num, offset)
+            return DC_SPACE_BIT | (pte.page_frame_num << 12) | (addr & 4095)
+        return (pte.page_frame_num << 12) | (addr & 4095)
 
     def hierarchy_access(
         self, access: MemAccess, now: int, on_complete: Callable[[int], None]
@@ -162,9 +178,38 @@ class SchemeBase(Component):
     # -- shared helpers ------------------------------------------------------
 
     def _record_dc_access(self, start: int, end: int) -> None:
-        self._dc_reads.inc()
-        self._dc_access_time.add(end - start)
-        self._dc_access_hist.add(end - start)
+        lat = end - start
+        self._dc_time_count += 1
+        self._dc_time_total += lat
+        mn = self._dc_time_min
+        if mn is None or lat < mn:
+            self._dc_time_min = lat
+        mx = self._dc_time_max
+        if mx is None or lat > mx:
+            self._dc_time_max = lat
+        # Same power-of-two bucketing as Histogram._bucket.
+        bucket = (1 << (lat.bit_length() - 1)) if lat > 0 else 0
+        buckets = self._dc_hist_buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+
+    def _sync_dc_stats(self) -> None:
+        """Flush the plain-int DC access totals into the StatGroup objects.
+
+        Writes ``self.stats._stats[...]`` contents directly (the objects
+        were created in ``__init__``); going through ``stats.get`` would
+        re-enter this hook.
+        """
+        self._dc_reads.value = self._dc_time_count
+        mean = self._dc_access_time
+        mean.count = self._dc_time_count
+        mean.total = self._dc_time_total
+        mean.min = self._dc_time_min
+        mean.max = self._dc_time_max
+        hist = self._dc_access_hist
+        hist.count = self._dc_time_count
+        hist.total = self._dc_time_total
+        hist.buckets.clear()
+        hist.buckets.update(self._dc_hist_buckets)
 
     # -- warmup (the paper's fast-forward region) ---------------------------
 
@@ -187,7 +232,8 @@ class SchemeBase(Component):
         return self.page_fills() * PAGE_SIZE
 
     def dc_access_time_mean(self) -> float:
-        return self._dc_access_time.mean
+        n = self._dc_time_count
+        return self._dc_time_total / n if n else 0.0
 
     def dc_access_time_percentile(self, p: float) -> int:
         """Approximate percentile of DC access time (power-of-two buckets).
@@ -196,10 +242,11 @@ class SchemeBase(Component):
         blocking scheme's mean hides multi-thousand-cycle outliers that
         the p99 exposes.
         """
+        self._sync_dc_stats()
         return self._dc_access_hist.percentile(p)
 
     def llc_misses(self) -> int:
-        return self.hierarchy.stats.get("llc_misses").value
+        return self.hierarchy.llc_miss_count
 
     def page_fills(self) -> int:
         return self._fills.value

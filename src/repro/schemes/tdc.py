@@ -22,6 +22,8 @@ from repro.dram.device import DRAMDevice
 from repro.engine.simulator import Simulator
 from repro.schemes.base import SchemeBase, is_dc_addr
 
+_DEMAND = TrafficClass.DEMAND
+
 
 class BlockingCopyManager(DataManager):
     """Page copies executed synchronously by the OS on the faulting CPU."""
@@ -104,6 +106,10 @@ class TDCScheme(SchemeBase):
             assume_all_dirty=not tdc_cfg.dirty_in_cache_bits,
         )
         self.frontend.attach_tlbs(self.tlbs)
+        # dc_access bindings: one DC probe + CPD poke per LLC miss.
+        self._cpd_list = self.frontend.cpds._cpds
+        self._hbm_access = self.hbm.access
+        self._ddr_access = self.ddr.access
 
     def on_tlb_change(self, core_id, vpn, pte, installed) -> None:
         self.frontend.tlb_changed(core_id, pte, installed)
@@ -136,18 +142,18 @@ class TDCScheme(SchemeBase):
         if is_dc_addr(paddr):
             hbm_addr = paddr & ~DC_SPACE_BIT
             if access.is_write:
-                self.frontend.cpds[hbm_addr >> 12].dirty_in_cache = True
+                self._cpd_list[hbm_addr >> 12].dirty_in_cache = True
 
             def _done() -> None:
                 end = self.sim.now
                 self._record_dc_access(start, end)
                 fill_cb(end)
 
-            self.hbm.access(hbm_addr, access.is_write, TrafficClass.DEMAND, callback=_done)
+            self._hbm_access(hbm_addr, access.is_write, _DEMAND, _done)
         else:
-            self.ddr.access(
-                paddr, access.is_write, TrafficClass.DEMAND,
-                callback=lambda: fill_cb(self.sim.now),
+            self._ddr_access(
+                paddr, access.is_write, _DEMAND,
+                lambda: fill_cb(self.sim.now),
             )
 
     def dc_writeback(self, paddr: int) -> None:

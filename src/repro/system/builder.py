@@ -22,7 +22,7 @@ from repro.schemes.tdc import TDCScheme
 from repro.schemes.tid import TiDScheme
 from repro.system.machine import Machine
 from repro.workloads.presets import warm_plan, workload
-from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+from repro.workloads.synthetic import WorkloadSpec, materialized_trace
 
 SCHEME_REGISTRY: Dict[str, Type[SchemeBase]] = {
     "baseline": BaselineScheme,
@@ -97,9 +97,10 @@ def build_machine(
         raise ValueError(f"need {cfg.num_cores} specs, got {len(specs)}")
     sim = Simulator()
     scheme_obj = make_scheme(scheme, sim, cfg, nomad_cfg, tdc_cfg, tid_cfg)
-    traces = [
-        SyntheticWorkload(s, seed=seed, core_id=i) for i, s in enumerate(specs)
-    ]
+    # Traces are deterministic per (spec, seed, core) and a comparison
+    # builds one machine per scheme, so materialization is memoized; the
+    # cores iterate a shared immutable list.
+    traces = [materialized_trace(s, seed, i) for i, s in enumerate(specs)]
     name = specs[0].name if len({s.name for s in specs}) == 1 else "mix"
     machine = Machine(cfg, scheme_obj, traces, workload_name=name)
     if prewarm and scheme != "baseline":

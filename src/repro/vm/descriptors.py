@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class PPD:
     """Physical page descriptor."""
 
@@ -27,9 +27,13 @@ class PPD:
     dirty: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CPD:
-    """Cache page descriptor (42 bits in the paper; 8 B aligned)."""
+    """Cache page descriptor (42 bits in the paper; 8 B aligned).
+
+    ``slots=True``: a 64 MB cache has 16 K of these, probed on the DC
+    write path and scanned by the eviction daemon.
+    """
 
     cfn: int
     valid: bool = False

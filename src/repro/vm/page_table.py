@@ -14,9 +14,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class PTE:
-    """One page table entry."""
+    """One page table entry.
+
+    ``slots=True``: one PTE exists per touched page, and the walker and
+    translate path read these attributes on every access.
+    """
 
     page_frame_num: int
     present: bool = True

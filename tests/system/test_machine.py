@@ -68,3 +68,21 @@ def test_bytes_by_class_exposed(tiny_cfg):
     r = build_machine("nomad", cfg=tiny_cfg, spec=small_spec(), prewarm=False).run()
     assert "FILL" in r.hbm_bytes_by_class
     assert r.hbm_bandwidth_gbps > 0
+
+
+def test_result_tolerates_missing_os_stall_key(tiny_cfg, monkeypatch):
+    """Cores without an "os" stall bucket must not crash result().
+
+    Custom core models (and the paper's baseline, which never suspends
+    threads) may report a breakdown without the key; os_stall_ratio then
+    defaults to 0 instead of raising KeyError.
+    """
+    m = build_machine("baseline", cfg=tiny_cfg, spec=small_spec(400))
+    m.run()
+    for core in m.cores:
+        monkeypatch.setattr(
+            core, "stall_breakdown", lambda: {"window": 0.0, "dep": 0.0}
+        )
+    r = m.result()
+    assert r.os_stall_ratio == 0.0
+    assert "os" not in r.stall_breakdown

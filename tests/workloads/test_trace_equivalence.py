@@ -1,0 +1,53 @@
+"""Chunked trace iteration must match the per-element reference path.
+
+``SyntheticWorkload.__iter__`` converts each numpy chunk with
+``ndarray.tolist()`` and assembles op tuples with ``zip`` (the fast
+path).  The reference semantics are the per-element ``int()``/``bool()``
+conversion loop it replaced; the two must agree element-for-element --
+values *and* native types -- for every Table I preset, since the trace
+feeds the deterministic event stream that the golden-metrics tests pin.
+"""
+
+import pytest
+
+from repro.workloads.presets import PRESETS, workload
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+
+
+def _reference_ops(spec: WorkloadSpec, seed: int, core_id: int) -> list:
+    """The old serial materialization: one int()/bool() per field."""
+    w = SyntheticWorkload(spec, seed=seed, core_id=core_id)
+    out = []
+    remaining = spec.num_mem_ops
+    while remaining > 0:
+        gaps, addrs, writes, deps = w._make_chunk(remaining)
+        remaining -= len(gaps)
+        for i in range(len(gaps)):
+            out.append(
+                (int(gaps[i]), int(addrs[i]), bool(writes[i]), bool(deps[i]))
+            )
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_chunked_iteration_matches_reference(name):
+    spec = workload(name, dc_pages=2048, num_cores=2, num_mem_ops=700)
+    fast = list(SyntheticWorkload(spec, seed=5, core_id=1))
+    ref = _reference_ops(spec, seed=5, core_id=1)
+    assert fast == ref
+    # tolist() must yield native python scalars, not numpy types: the
+    # core's dispatch arithmetic and the heap ordering rely on exact int
+    # semantics, and bools must stay bools for the dependence flags.
+    gap, addr, write, dep = fast[0]
+    assert type(gap) is int and type(addr) is int
+    assert type(write) is bool and type(dep) is bool
+
+
+def test_multiple_chunks_are_exercised():
+    """The equivalence must hold across chunk boundaries, not just one."""
+    spec = workload("cact", dc_pages=2048, num_cores=2, num_mem_ops=4000)
+    w = SyntheticWorkload(spec, seed=2, core_id=0)
+    assert spec.num_mem_ops > w.CHUNK_VISITS  # > one chunk of visits
+    fast = list(w)
+    assert fast == _reference_ops(spec, seed=2, core_id=0)
+    assert len(fast) == spec.num_mem_ops
