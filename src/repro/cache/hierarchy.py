@@ -72,6 +72,16 @@ class CacheHierarchy(Component):
         self.stats._stats["llc_misses"].value = self.llc_miss_count
         self.stats._stats["llc_accesses"].value = self.llc_access_count
 
+    def guard_state(self) -> dict:
+        return {
+            "llc_accesses": self.llc_access_count,
+            "llc_misses": self.llc_miss_count,
+            "mshr_outstanding": len(self.mshrs._entries),
+            "mshr_overflow": len(self.mshrs._overflow),
+            "pending_issue": len(self._pending_issue),
+            "pending_dirty": len(self._pending_dirty),
+        }
+
     # -- access path ----------------------------------------------------
 
     def access(

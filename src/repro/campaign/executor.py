@@ -5,19 +5,33 @@ goes through -- ``run_matrix``, ``repro sweep``, ``repro compare`` and
 the figure experiments all submit here.  It
 
 1. expands the :class:`GridSpec` (or accepts an explicit config list),
-2. serves what it can from the in-process memo cache and the persistent
-   :class:`ResultStore`,
+2. skips configs the :class:`ResultStore` has quarantined, then serves
+   what it can from the in-process memo cache and the store,
 3. runs the remainder serially (``jobs <= 1``) or over a fault-tolerant
    process pool (``jobs > 1``), with per-campaign stall timeout and
    bounded retry of crashed/hung workers,
 4. merges results back in grid order and reports a
-   :class:`CampaignSummary` (completed/cached/failed + cache counters)
-   instead of aborting the whole grid on one bad run.
+   :class:`CampaignSummary` (completed/cached/failed/quarantined +
+   cache counters) instead of aborting the whole grid on one bad run.
+
+Failure taxonomy (``RunRecord.failure_kind``): ``timeout`` (the stall
+watchdog killed a hung worker), ``crash`` (the run raised or the worker
+process died), ``invariant`` (a guarded run tripped a checker or the
+forward-progress watchdog).  A failure observed identically on two
+attempts is deterministic: the config is marked ``quarantined``, written
+to the store's quarantine (with its diagnostic bundle path), and never
+retried past the second attempt -- by this campaign or any later one
+sharing the store.
+
+``guard=`` opts the whole campaign into paranoid mode (a
+:class:`~repro.guard.GuardConfig` shipped to every run).  Guarded runs
+bypass the memo cache and the result store in both directions.
 """
 
 from __future__ import annotations
 
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -32,6 +46,7 @@ COMPLETED = "completed"  # freshly simulated this campaign
 CACHED = "cached"  # served from the memo cache or the disk store
 FAILED = "failed"  # simulation raised, or worker crashed out of retries
 TIMEOUT = "timeout"  # hung out of retries
+QUARANTINED = "quarantined"  # failed deterministically; pinned in the store
 
 
 class CampaignError(RuntimeError):
@@ -49,6 +64,9 @@ class RunRecord:
     source: str = ""  # "memo" | "store" | "simulated"
     error: str = ""
     attempts: int = 0
+    failure_kind: str = ""  # "" | "timeout" | "crash" | "invariant"
+    bundle_path: str = ""  # diagnostic bundle of a guarded failure
+    traceback: str = ""  # formatted traceback (post-mortems without reruns)
 
     def to_dict(self) -> dict:
         return {
@@ -57,6 +75,9 @@ class RunRecord:
             "source": self.source,
             "error": self.error,
             "attempts": self.attempts,
+            "failure_kind": self.failure_kind,
+            "bundle_path": self.bundle_path,
+            "traceback": self.traceback,
             "result": self.result.to_dict() if self.result else None,
         }
 
@@ -69,6 +90,7 @@ class CampaignSummary:
     completed: int = 0
     cached: int = 0
     failed: int = 0
+    quarantined: int = 0
     elapsed_s: float = 0.0
     memo: Dict[str, int] = field(default_factory=dict)
     store: Dict[str, object] = field(default_factory=dict)
@@ -79,17 +101,20 @@ class CampaignSummary:
             "completed": self.completed,
             "cached": self.cached,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "elapsed_s": self.elapsed_s,
             "memo": dict(self.memo),
             "store": dict(self.store),
         }
 
     def describe(self) -> str:
-        parts = [
+        head = (
             f"{self.total} runs: {self.completed} simulated, "
-            f"{self.cached} cached, {self.failed} failed "
-            f"in {self.elapsed_s:.2f}s"
-        ]
+            f"{self.cached} cached, {self.failed} failed"
+        )
+        if self.quarantined:
+            head += f", {self.quarantined} quarantined"
+        parts = [head + f" in {self.elapsed_s:.2f}s"]
         if self.memo:
             parts.append(
                 f"memo cache: {self.memo.get('hits', 0)} hits / "
@@ -149,11 +174,131 @@ class CampaignResult:
         }
 
 
-def _simulate_payload(payload: dict) -> dict:
-    """Pool worker: dict in, dict out (keeps transport JSON-clean)."""
-    cfg = RunConfig.from_dict(payload)
-    return runner.run_workload(cfg).to_dict()
+# ---------------------------------------------------------------------------
+# Failure classification helpers
+# ---------------------------------------------------------------------------
 
+def _failure_info(exc: BaseException) -> Dict[str, str]:
+    """Flatten an exception into the transportable failure taxonomy."""
+    return {
+        "failure_kind": getattr(exc, "failure_kind", "crash"),
+        "error": f"{type(exc).__name__}: {exc}",
+        "checker": str(getattr(exc, "checker", "") or ""),
+        "bundle_path": str(getattr(exc, "bundle_path", "") or ""),
+        "traceback": "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
+
+
+def _same_failure(a: Dict[str, str], b: Dict[str, str]) -> bool:
+    """Two attempts failed "the same way": kind, checker, and exception
+    type all match (messages may carry run-varying detail)."""
+    return (
+        a.get("failure_kind") == b.get("failure_kind")
+        and a.get("checker") == b.get("checker")
+        and a.get("error", "").split(":", 1)[0]
+        == b.get("error", "").split(":", 1)[0]
+    )
+
+
+def _quarantine(store, cfg: RunConfig, info: Dict[str, str]) -> None:
+    if store is not None and hasattr(store, "put_failure"):
+        store.put_failure(cfg, info)
+
+
+def _failed_record(index: int, cfg: RunConfig, status: str,
+                   info: Dict[str, str], attempts: int,
+                   source: str = "") -> RunRecord:
+    return RunRecord(
+        index, cfg, status,
+        source=source,
+        error=info.get("error", ""),
+        attempts=attempts,
+        failure_kind=info.get("failure_kind", ""),
+        bundle_path=info.get("bundle_path", ""),
+        traceback=info.get("traceback", ""),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pool worker
+# ---------------------------------------------------------------------------
+
+def _simulate_payload(payload: dict) -> dict:
+    """Pool worker: dict in, dict out (keeps transport JSON-clean).
+
+    A ``__guard__`` key (a serialized GuardConfig) arms paranoid mode;
+    guard failures come back as a structured ``__failure__`` value
+    rather than an exception, so the pool does not burn its crash-retry
+    budget on deterministic invariant violations.
+    """
+    payload = dict(payload)
+    guard_dict = payload.pop("__guard__", None)
+    cfg = RunConfig.from_dict(payload)
+    if guard_dict is None:
+        return runner.run_workload(cfg).to_dict()
+
+    from repro.guard import GuardConfig
+
+    guard_cfg = GuardConfig.from_dict(guard_dict)
+    try:
+        return runner.run_workload(cfg, guard=guard_cfg).to_dict()
+    except Exception as exc:
+        return {"__failure__": _failure_info(exc)}
+
+
+# ---------------------------------------------------------------------------
+# Serial guarded execution (attempt + deterministic-failure confirmation)
+# ---------------------------------------------------------------------------
+
+def _run_guarded_serial(index: int, cfg: RunConfig, guard_cfg,
+                        store) -> RunRecord:
+    try:
+        result = runner.run_workload(cfg, guard=guard_cfg)
+        return RunRecord(
+            index, cfg, COMPLETED, result, source="simulated", attempts=1
+        )
+    except Exception as exc:
+        first = _failure_info(exc)
+    # One confirmation attempt decides deterministic vs. transient; a
+    # deterministic failure is quarantined, never retried further.
+    try:
+        result = runner.run_workload(cfg, guard=guard_cfg)
+        return RunRecord(
+            index, cfg, COMPLETED, result, source="simulated", attempts=2,
+            error=f"transient failure on first attempt: {first['error']}",
+        )
+    except Exception as exc:
+        second = _failure_info(exc)
+    if _same_failure(first, second):
+        _quarantine(store, cfg, second)
+        return _failed_record(index, cfg, QUARANTINED, second, attempts=2)
+    return _failed_record(index, cfg, FAILED, second, attempts=2)
+
+
+def _record_pool_failure(index: int, cfg: RunConfig, outcome, store,
+                         extra_attempts: int = 0) -> RunRecord:
+    attempts = outcome.attempts + extra_attempts
+    info = {
+        "failure_kind": "timeout" if outcome.status == _pool.TIMEOUT else "crash",
+        "error": outcome.error,
+        "checker": "",
+        "bundle_path": "",
+        "traceback": outcome.traceback,
+    }
+    if outcome.status == _pool.TIMEOUT:
+        return _failed_record(index, cfg, TIMEOUT, info, attempts)
+    if outcome.status == _pool.CRASHED and attempts >= 2:
+        # Crashed on every attempt: deterministic, quarantine it.
+        _quarantine(store, cfg, info)
+        return _failed_record(index, cfg, QUARANTINED, info, attempts)
+    return _failed_record(index, cfg, FAILED, info, attempts)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
 
 def run_campaign(
     grid: Union[GridSpec, Iterable[RunConfig]],
@@ -161,61 +306,133 @@ def run_campaign(
     store=None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    guard=None,
 ) -> CampaignResult:
     """Execute every run of *grid*; never raises for individual runs.
 
     ``store=None`` uses the globally installed result store (if any);
     pass a :class:`ResultStore` to use -- and install for the duration --
-    a specific one.
+    a specific one.  ``guard`` (``True`` or a ``GuardConfig``) runs the
+    whole campaign in paranoid mode.
     """
     t0 = time.monotonic()
     configs = grid.expand() if isinstance(grid, GridSpec) else list(grid)
     records: List[Optional[RunRecord]] = [None] * len(configs)
+
+    guard_cfg = None
+    if guard is not None and guard is not False:
+        from repro.guard import Guard, GuardConfig
+
+        if isinstance(guard, GuardConfig):
+            guard_cfg = guard
+        elif isinstance(guard, Guard):
+            guard_cfg = guard.config
+        else:
+            guard_cfg = GuardConfig()
 
     effective_store = store if store is not None else runner.get_result_store()
     prev_store = runner.set_result_store(effective_store)
     try:
         pending: List[int] = []
         for i, cfg in enumerate(configs):
-            result, source = runner.cached_result(cfg)
-            if result is not None:
-                records[i] = RunRecord(i, cfg, CACHED, result, source=source)
-            else:
-                pending.append(i)
+            if effective_store is not None and hasattr(effective_store, "get_failure"):
+                known = effective_store.get_failure(cfg)
+                if known:
+                    records[i] = _failed_record(
+                        i, cfg, QUARANTINED, known, attempts=0, source="store"
+                    )
+                    continue
+            if guard_cfg is None:
+                result, source = runner.cached_result(cfg)
+                if result is not None:
+                    records[i] = RunRecord(i, cfg, CACHED, result, source=source)
+                    continue
+            pending.append(i)
 
         if jobs <= 1 or len(pending) <= 1:
             for i in pending:
                 cfg = configs[i]
+                if guard_cfg is not None:
+                    records[i] = _run_guarded_serial(
+                        i, cfg, guard_cfg, effective_store
+                    )
+                    continue
                 try:
                     result = runner.run_workload(cfg)
                     records[i] = RunRecord(
                         i, cfg, COMPLETED, result, source="simulated", attempts=1
                     )
                 except Exception as exc:
-                    records[i] = RunRecord(
-                        i, cfg, FAILED,
-                        error=f"{type(exc).__name__}: {exc}", attempts=1,
+                    records[i] = _failed_record(
+                        i, cfg, FAILED, _failure_info(exc), attempts=1
                     )
         elif pending:
-            payloads = [configs[i].to_dict() for i in pending]
+            guard_dict = guard_cfg.to_dict() if guard_cfg is not None else None
+
+            def _payload(i: int) -> dict:
+                payload = configs[i].to_dict()
+                if guard_dict is not None:
+                    payload["__guard__"] = guard_dict
+                return payload
+
             outcomes = _pool.map_with_retries(
-                _simulate_payload, payloads,
+                _simulate_payload, [_payload(i) for i in pending],
                 jobs=jobs, timeout=timeout, retries=retries,
             )
+            confirm: List[Tuple[int, Dict[str, str], int]] = []
             for outcome, i in zip(outcomes, pending):
                 cfg = configs[i]
-                if outcome.ok:
-                    result = MachineResult.from_dict(outcome.value)
+                if not outcome.ok:
+                    records[i] = _record_pool_failure(
+                        i, cfg, outcome, effective_store
+                    )
+                    continue
+                value = outcome.value
+                if isinstance(value, dict) and "__failure__" in value:
+                    confirm.append((i, value["__failure__"], outcome.attempts))
+                    continue
+                result = MachineResult.from_dict(value)
+                if guard_cfg is None:
                     runner.prime(cfg, result)
+                records[i] = RunRecord(
+                    i, cfg, COMPLETED, result,
+                    source="simulated", attempts=outcome.attempts,
+                )
+            if confirm:
+                # Guard failures get exactly one confirmation attempt
+                # (retries=0): reproduce -> quarantine, else transient.
+                outcomes2 = _pool.map_with_retries(
+                    _simulate_payload, [_payload(i) for i, _, _ in confirm],
+                    jobs=jobs, timeout=timeout, retries=0,
+                )
+                for (i, first, attempts1), outcome2 in zip(confirm, outcomes2):
+                    cfg = configs[i]
+                    attempts = attempts1 + outcome2.attempts
+                    if not outcome2.ok:
+                        records[i] = _record_pool_failure(
+                            i, cfg, outcome2, effective_store,
+                            extra_attempts=attempts1,
+                        )
+                        continue
+                    value2 = outcome2.value
+                    if isinstance(value2, dict) and "__failure__" in value2:
+                        second = value2["__failure__"]
+                        if _same_failure(first, second):
+                            _quarantine(effective_store, cfg, second)
+                            records[i] = _failed_record(
+                                i, cfg, QUARANTINED, second, attempts
+                            )
+                        else:
+                            records[i] = _failed_record(
+                                i, cfg, FAILED, second, attempts
+                            )
+                        continue
+                    result = MachineResult.from_dict(value2)
                     records[i] = RunRecord(
                         i, cfg, COMPLETED, result,
-                        source="simulated", attempts=outcome.attempts,
-                    )
-                else:
-                    status = TIMEOUT if outcome.status == _pool.TIMEOUT else FAILED
-                    records[i] = RunRecord(
-                        i, cfg, status,
-                        error=outcome.error, attempts=outcome.attempts,
+                        source="simulated", attempts=attempts,
+                        error=f"transient failure on first attempt: "
+                              f"{first.get('error', '')}",
                     )
     finally:
         runner.set_result_store(prev_store)
@@ -226,6 +443,7 @@ def run_campaign(
         completed=sum(r.status == COMPLETED for r in done),
         cached=sum(r.status == CACHED for r in done),
         failed=sum(r.status in (FAILED, TIMEOUT) for r in done),
+        quarantined=sum(r.status == QUARANTINED for r in done),
         elapsed_s=time.monotonic() - t0,
         memo=runner.cache_stats(),
         store=effective_store.stats() if effective_store is not None else {},

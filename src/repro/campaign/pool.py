@@ -20,6 +20,7 @@ workers.  Guarantees:
 from __future__ import annotations
 
 import concurrent.futures as cf
+import traceback as _traceback
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
@@ -28,6 +29,14 @@ OK = "ok"
 ERROR = "error"  # the task itself raised -- deterministic, no retry
 CRASHED = "crashed"  # the worker process died
 TIMEOUT = "timeout"  # stall watchdog fired
+
+
+def _format_tb(exc: BaseException) -> str:
+    """Full formatted traceback; for pool exceptions this includes the
+    worker-side ``_RemoteTraceback`` chained via ``__cause__``."""
+    return "".join(
+        _traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
 
 
 @dataclass
@@ -39,6 +48,7 @@ class TaskOutcome:
     value: Any = None
     error: str = ""
     attempts: int = 0
+    traceback: str = ""
 
     @property
     def ok(self) -> bool:
@@ -113,6 +123,7 @@ def map_with_retries(
                         status=CRASHED,
                         error=str(exc) or "worker process died",
                         attempts=attempts[i],
+                        traceback=_format_tb(exc),
                     )
                     retry.append(i)
                     broken = True
@@ -122,6 +133,7 @@ def map_with_retries(
                         status=ERROR,
                         error=f"{type(exc).__name__}: {exc}",
                         attempts=attempts[i],
+                        traceback=_format_tb(exc),
                     )
         if broken:
             _kill_pool(pool)

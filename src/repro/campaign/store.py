@@ -106,12 +106,64 @@ class ResultStore:
         self.writes += 1
         return path
 
+    # -- quarantine --------------------------------------------------------
+    #
+    # Deterministic failures (an invariant violation that reproduces, a
+    # worker that crashes twice on the same config) are recorded here so
+    # later campaigns skip the config instead of burning retry budget on
+    # it.  Records live under ``root/quarantine/`` and are keyed exactly
+    # like results, so a version bump clears the quarantine too.
+
+    def failure_path_for(self, cfg: RunConfig) -> Path:
+        return self.root / "quarantine" / f"{self.key(cfg)}.json"
+
+    def put_failure(self, cfg: RunConfig, info: Dict[str, object]) -> Path:
+        """Quarantine *cfg*; ``info`` describes the deterministic failure
+        (``failure_kind``, ``error``, ``bundle_path``, ``traceback``)."""
+        path = self.failure_path_for(cfg)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": self.version,
+            "config": cfg.to_dict(),
+            "failure": dict(info),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_failure(self, cfg: RunConfig) -> Optional[Dict[str, object]]:
+        """The quarantine record for *cfg*, or None."""
+        path = self.failure_path_for(cfg)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("config") != cfg.to_dict():
+                raise ValueError("stored config does not match request")
+            failure = payload["failure"]
+            if not isinstance(failure, dict):
+                raise TypeError("failure record is not a dict")
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return failure
+
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        # Quarantine records are not results; keep them out of the count.
+        return sum(
+            1 for p in self.root.glob("*/*.json")
+            if p.parent.name != "quarantine"
+        )
 
     def stats(self) -> Dict[str, object]:
         return {

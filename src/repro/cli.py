@@ -1,8 +1,10 @@
 """Command-line interface.
 
     python -m repro run --scheme nomad --workload cact
+    python -m repro run --scheme nomad --workload cact --guard
     python -m repro compare --workload cact --ops 6000
     python -m repro sweep --schemes tdc,nomad --pcshrs 8,32 --jobs 4
+    python -m repro replay ~/.cache/repro-nomad/bundles/bundle-.../
     python -m repro table1
     python -m repro list
 
@@ -49,7 +51,21 @@ def _emit_json(payload) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _reject_unknown(schemes=(), workloads=()) -> Optional[str]:
+    """One-line description of any unknown scheme/workload, else None."""
+    bad = [f"scheme {s!r}" for s in schemes if s not in SCHEME_REGISTRY]
+    bad += [f"workload {w!r}" for w in workloads if w not in PRESETS]
+    if not bad:
+        return None
+    return (f"error: unknown {', '.join(bad)} "
+            f"(run `repro list` to see what is available)")
+
+
 def cmd_run(args) -> int:
+    problem = _reject_unknown([args.scheme], [args.workload])
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     nomad_cfg = None
     if args.pcshrs is not None or args.distributed:
         nomad_cfg = NomadConfig(
@@ -66,26 +82,38 @@ def cmd_run(args) -> int:
         seed=args.seed,
         nomad_cfg=nomad_cfg,
     )
-    if args.profile:
-        import cProfile
-        import pstats
+    guard = True if getattr(args, "guard", False) else None
+    from repro.guard.errors import GuardError
 
-        from repro.harness.runner import clear_cache
-        from repro.workloads.synthetic import clear_trace_cache
+    try:
+        if args.profile:
+            import cProfile
+            import pstats
 
-        # Memoized results/traces would hide the work being profiled.
-        clear_cache()
-        clear_trace_cache()
-        profiler = cProfile.Profile()
-        profiler.enable()
-        res = run_workload(cfg)
-        profiler.disable()
-        profiler.dump_stats(args.profile)
-        stats = pstats.Stats(profiler)
-        stats.sort_stats("cumulative").print_stats(20)
-        print(f"profile written to {args.profile} (binary pstats)")
-    else:
-        res = run_workload(cfg)
+            from repro.harness.runner import clear_cache
+            from repro.workloads.synthetic import clear_trace_cache
+
+            # Memoized results/traces would hide the work being profiled.
+            clear_cache()
+            clear_trace_cache()
+            profiler = cProfile.Profile()
+            profiler.enable()
+            res = run_workload(cfg, guard=guard)
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(20)
+            print(f"profile written to {args.profile} (binary pstats)")
+        else:
+            res = run_workload(cfg, guard=guard)
+    except GuardError as exc:
+        print(f"guard failure: {exc}", file=sys.stderr)
+        bundle = getattr(exc, "bundle_path", None)
+        if bundle:
+            print(f"diagnostic bundle: {bundle}", file=sys.stderr)
+            print(f"reproduce with: python -m repro replay {bundle}",
+                  file=sys.stderr)
+        return 1
     if args.json:
         _emit_json({"config": cfg.to_dict(), "result": res.to_dict()})
         return 0
@@ -101,6 +129,10 @@ COMPARE_SCHEMES = ("baseline", "tid", "tdc", "nomad", "ideal")
 
 
 def cmd_compare(args) -> int:
+    problem = _reject_unknown(workloads=[args.workload])
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     base = RunConfig(
         scheme="baseline", workload=args.workload, num_mem_ops=args.ops,
         num_cores=args.cores, dc_megabytes=args.dc_mb, seed=args.seed,
@@ -135,11 +167,9 @@ def _csv_ints(text: str) -> List[int]:
 def cmd_sweep(args) -> int:
     schemes = _csv(args.schemes)
     workloads = _csv(args.workloads) if args.workloads else sorted(PRESETS)
-    bad = [s for s in schemes if s not in SCHEME_REGISTRY]
-    bad += [w for w in workloads if w not in PRESETS]
-    if bad:
-        print(f"error: unknown schemes/workloads: {', '.join(bad)}",
-              file=sys.stderr)
+    problem = _reject_unknown(schemes, workloads)
+    if problem:
+        print(problem, file=sys.stderr)
         return 2
 
     axes = []
@@ -160,6 +190,7 @@ def cmd_sweep(args) -> int:
     campaign = run_campaign(
         grid, jobs=args.jobs, store=store,
         timeout=args.timeout, retries=args.retries,
+        guard=True if args.guard else None,
     )
 
     if args.json:
@@ -182,11 +213,15 @@ def cmd_sweep(args) -> int:
             row["dc_access_time"] = rec.result.dc_access_time
         else:
             row["error"] = rec.error
+            if rec.failure_kind:
+                row["kind"] = rec.failure_kind
         rows.append(row)
     columns = ["scheme", "workload", "seed"]
     if any("pcshrs" in r for r in rows):
         columns.append("pcshrs")
     columns += ["status", "source", "ipc", "dc_access_time"]
+    if any(r.get("kind") for r in rows):
+        columns.append("kind")
     if any(r.get("error") for r in rows):
         columns.append("error")
     print(format_table(rows, columns=columns,
@@ -260,6 +295,22 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_replay(args) -> int:
+    from repro.guard.bundle import replay_bundle
+    from repro.guard.errors import GuardError
+
+    try:
+        report = replay_bundle(args.bundle)
+    except GuardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(report.to_dict())
+    else:
+        print(report.describe())
+    return 0 if report.reproduced else 1
+
+
 def cmd_list(_args) -> int:
     rows = [
         {
@@ -292,12 +343,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="structured JSON output instead of tables")
 
+    # Scheme/workload names are validated in the command functions (one
+    # clear line + a `repro list` hint, exit 2) rather than via argparse
+    # choices= whose error dumps the whole usage string.
     p_run = sub.add_parser("run", help="run one (scheme, workload)")
-    p_run.add_argument("--scheme", required=True, choices=sorted(SCHEME_REGISTRY))
-    p_run.add_argument("--workload", required=True, choices=sorted(PRESETS))
+    p_run.add_argument("--scheme", required=True)
+    p_run.add_argument("--workload", required=True)
     p_run.add_argument("--pcshrs", type=int, default=None)
     p_run.add_argument("--distributed", action="store_true",
                        help="distributed back-ends (NOMAD only)")
+    p_run.add_argument("--guard", action="store_true",
+                       help="paranoid mode: run invariant checkers + the "
+                            "forward-progress watchdog; crashes leave a "
+                            "replayable diagnostic bundle")
     p_run.add_argument("--profile", default=None, metavar="PATH",
                        help="cProfile the run; dump binary pstats to PATH "
                             "and print the top 20 by cumulative time")
@@ -305,7 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all schemes on one workload")
-    p_cmp.add_argument("--workload", required=True, choices=sorted(PRESETS))
+    p_cmp.add_argument("--workload", required=True)
     add_common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
@@ -331,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: $REPRO_STORE or ~/.cache/repro-nomad)")
     p_sw.add_argument("--no-store", action="store_true",
                       help="disable the persistent result store")
+    p_sw.add_argument("--guard", action="store_true",
+                      help="paranoid mode for every run; deterministic "
+                           "failures are quarantined in the store")
     add_common(p_sw)
     p_sw.set_defaults(func=cmd_sweep)
 
@@ -356,6 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", action="store_true",
                          help="structured JSON output instead of tables")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_replay = sub.add_parser(
+        "replay", help="re-run a guard diagnostic bundle deterministically"
+    )
+    p_replay.add_argument("bundle", help="bundle directory or bundle.json path")
+    p_replay.add_argument("--json", action="store_true",
+                          help="structured JSON output instead of text")
+    p_replay.set_defaults(func=cmd_replay)
 
     p_ls = sub.add_parser("list", help="list workloads and schemes")
     p_ls.set_defaults(func=cmd_list)

@@ -278,6 +278,14 @@ class Backend(Component, DataManager):
     def outstanding_copies(self) -> int:
         return len(self._by_cfn)
 
+    def guard_state(self) -> dict:
+        return {
+            "outstanding_copies": len(self._by_cfn),
+            "free_pcshrs": len(self._free),
+            "queued_commands": len(self._cmd_waiters),
+            "active_cfns": sorted(self._by_cfn)[:16],
+        }
+
 
 def _at_time(callback: Callable[[int], None], t: int) -> Callable[[], None]:
     def _fire() -> None:

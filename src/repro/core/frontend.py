@@ -162,7 +162,7 @@ class FrontEnd(Component):
 
         def _reacquire():
             if self.mutex is not None:
-                self.mutex.acquire(_find_frame)
+                self.mutex.acquire(_find_frame, owner="tag_miss_retry")
             else:
                 _find_frame()
 
@@ -175,7 +175,7 @@ class FrontEnd(Component):
             self._trigger_daemon()
 
         if self.mutex is not None:
-            self.mutex.acquire(_with_mutex)
+            self.mutex.acquire(_with_mutex, owner="tag_miss_handler")
         else:
             _with_mutex()
 
@@ -244,7 +244,8 @@ class FrontEnd(Component):
 
     def _daemon_start(self) -> None:
         if self.mutex is not None:
-            self.mutex.acquire(self._daemon_batch_begin)
+            self.mutex.acquire(self._daemon_batch_begin,
+                               owner="eviction_daemon")
         else:
             self._daemon_batch_begin()
 
@@ -357,6 +358,22 @@ class FrontEnd(Component):
     def attach_tlbs(self, tlbs) -> None:
         """Give the front-end shootdown access to the per-core TLBs."""
         self._tlbs = tlbs
+
+    def guard_state(self) -> dict:
+        fq = self.free_queue
+        state = {
+            "free_frames": fq.num_free,
+            "allocated_frames": fq.allocated,
+            "head": fq.head,
+            "tail": fq.tail,
+            "daemon_running": self._daemon_running,
+            "frame_waiters": len(self._frame_waiters),
+        }
+        if self.mutex is not None:
+            state["mutex_locked"] = self.mutex.locked
+            state["mutex_holder"] = self.mutex.holder
+            state["mutex_queue_depth"] = self.mutex.queue_depth
+        return state
 
     # ------------------------------------------------------------------
     # TLB directory maintenance (called from the scheme's TLB hooks)

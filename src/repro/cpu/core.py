@@ -110,6 +110,19 @@ class Core(Component):
     def start(self) -> None:
         self.sim.schedule(0, self._advance)
 
+    def guard_state(self) -> dict:
+        return {
+            "inst_count": self.inst_count,
+            "mem_ops": self.mem_ops,
+            "done": self.done,
+            "waiting": self._waiting,
+            "draining": self._draining,
+            "outstanding_loads": len(self.outstanding),
+            "outstanding_stores": self.outstanding_stores,
+            "store_blocked": self._store_blocked,
+            "dispatch_cycles": self.dispatch_cycles,
+        }
+
     @property
     def ipc(self) -> float:
         if not self.finish_time:

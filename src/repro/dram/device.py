@@ -44,6 +44,14 @@ class DRAMDevice(Component):
     def _sync_stats(self) -> None:
         self.stats._stats["accesses"].value = self.access_count
 
+    def guard_state(self) -> dict:
+        return {
+            "accesses": self.access_count,
+            "reads": sum(ch.reads for ch in self.channels),
+            "writes": sum(ch.writes for ch in self.channels),
+            "max_bus_free_at": max(ch.bus_free_at for ch in self.channels),
+        }
+
     def access(
         self,
         addr: int,

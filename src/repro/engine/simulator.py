@@ -23,6 +23,14 @@ class Simulator:
         self._components: List["Component"] = []
         self._stopped = False
         self.events_processed = 0  # cumulative across run() calls
+        # Optional paranoid-mode hook (duck-typed: anything exposing
+        # before_event/after_event, see repro.guard.Guard).  The engine
+        # never imports the guard package; None keeps the fast loops.
+        self._guard = None
+
+    def attach_guard(self, guard) -> None:
+        """Install (or with ``None`` remove) the run-loop guard hooks."""
+        self._guard = guard
 
     def register(self, component: "Component") -> None:
         self._components.append(component)
@@ -72,6 +80,8 @@ class Simulator:
         ``max_events`` bounds work, guarding against runaway feedback loops
         in a buggy component.
         """
+        if self._guard is not None:
+            return self._run_guarded(until, max_events)
         processed = 0
         self._stopped = False
         # This loop dispatches every event of every run, so it works on
@@ -121,6 +131,46 @@ class Simulator:
         self.events_processed += processed
         return processed
 
+    def _run_guarded(self, until: Optional[int], max_events: Optional[int]) -> int:
+        """The guarded dispatch loop: identical pop order to the fast
+        loops (so guarded runs stay bit-identical), with the guard's
+        per-event hooks around each callback.  ``events_processed`` is
+        maintained per event here, so a guard exception leaves an exact
+        count for the crash bundle and its replay.
+        """
+        guard = self._guard
+        before = guard.before_event
+        after = guard.after_event
+        processed = 0
+        self._stopped = False
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        while not self._stopped:
+            if max_events is not None and processed >= max_events:
+                break
+            if not heap:
+                break
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            time = entry[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heappop(heap)
+            queue._live -= 1
+            event._queue = None
+            self.now = time
+            before(time, entry[1], event.callback)
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+            after()
+        return processed
+
     @property
     def pending_events(self) -> int:
         return len(self._queue)
@@ -146,6 +196,12 @@ class Component:
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
         return self.sim.schedule(delay, callback)
+
+    def guard_state(self) -> dict:
+        """Flat snapshot of diagnostic state for stall reports and crash
+        bundles (see ``repro.guard``).  Components with interesting
+        internal state override this; values should be scalars."""
+        return {}
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,55 @@
+"""Runtime invariant checking, watchdog, crash bundles, fault injection.
+
+Public surface:
+
+* :class:`GuardConfig` / :class:`Guard` -- paranoid-mode runtime,
+  attached via ``Machine.run(guard=...)`` or ``repro run --guard``;
+* :class:`GuardError` / :class:`InvariantViolation` /
+  :class:`DeadlockError` -- the typed failures a guarded run raises;
+* :func:`as_guard` -- normalize ``True`` / config / guard arguments;
+* ``repro.guard.bundle`` -- crash bundles + ``repro replay``;
+* ``repro.guard.chaos`` -- test-only fault injection (imported lazily;
+  name an injection in ``GuardConfig.chaos`` to arm it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.guard.core import Guard, GuardConfig
+from repro.guard.errors import DeadlockError, GuardError, InvariantViolation
+
+__all__ = [
+    "Guard",
+    "GuardConfig",
+    "GuardError",
+    "InvariantViolation",
+    "DeadlockError",
+    "as_guard",
+]
+
+
+def as_guard(
+    guard: Union[None, bool, GuardConfig, Guard],
+    run_config: Optional[dict] = None,
+) -> Optional[Guard]:
+    """Normalize the ``guard=`` argument accepted across the stack.
+
+    ``None``/``False`` -> no guard; ``True`` -> default config;
+    a :class:`GuardConfig` -> fresh :class:`Guard`; a :class:`Guard` is
+    passed through (its ``run_config`` is filled in if missing).
+    """
+    if guard is None or guard is False:
+        return None
+    if isinstance(guard, Guard):
+        if guard.run_config is None and run_config is not None:
+            guard.run_config = run_config
+        return guard
+    if isinstance(guard, GuardConfig):
+        return Guard(guard, run_config=run_config)
+    if guard is True:
+        return Guard(GuardConfig(), run_config=run_config)
+    raise TypeError(
+        f"guard must be None, bool, GuardConfig, or Guard, "
+        f"not {type(guard).__name__}"
+    )

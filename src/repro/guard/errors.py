@@ -1,0 +1,63 @@
+"""Typed guard failures.
+
+This module is intentionally dependency-free (pure stdlib): the engine
+and the machine raise these without importing the rest of the guard
+package, so there is no import cycle between ``repro.engine`` /
+``repro.system`` and ``repro.guard``.
+
+All guard failures subclass :class:`GuardError`, which itself subclasses
+``RuntimeError`` so existing callers that catch broad runtime failures
+(and the pre-guard ``simulation stalled`` tests) keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class GuardError(RuntimeError):
+    """Base class for every failure the guard layer can raise.
+
+    ``failure_kind`` feeds the campaign layer's failure taxonomy
+    (``timeout`` / ``crash`` / ``invariant``); ``bundle_path`` is filled
+    in by ``Machine.run`` after a diagnostic bundle has been written.
+    """
+
+    failure_kind = "invariant"
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.bundle_path: Optional[str] = None
+
+
+class InvariantViolation(GuardError):
+    """A component's state broke one of its declared invariants."""
+
+    def __init__(
+        self,
+        checker: str,
+        problems: List[str],
+        component: str = "",
+        snapshot: Optional[Dict] = None,
+    ):
+        self.checker = checker
+        self.component = component
+        self.problems = list(problems)
+        self.snapshot = dict(snapshot or {})
+        where = f" in {component}" if component else ""
+        detail = "; ".join(self.problems) if self.problems else "unspecified"
+        super().__init__(f"invariant {checker!r} violated{where}: {detail}")
+
+
+class DeadlockError(GuardError):
+    """Forward progress stopped: livelock, deadlock, or a stalled drain.
+
+    The message always contains the word ``stalled`` plus the event-queue
+    head and per-component summaries so a hang is diagnosable from the
+    exception alone.
+    """
+
+    def __init__(self, message: str, snapshot: Optional[Dict] = None):
+        self.checker = "forward_progress"
+        self.snapshot = dict(snapshot or {})
+        super().__init__(message)

@@ -177,13 +177,28 @@ def prime(cfg: RunConfig, result: MachineResult) -> None:
         _STORE.put(cfg, result)
 
 
-def run_workload(cfg: RunConfig) -> MachineResult:
-    """Run (or fetch the cached result of) one configuration."""
+def run_workload(cfg: RunConfig, guard=None) -> MachineResult:
+    """Run (or fetch the cached result of) one configuration.
+
+    ``guard`` (``True`` / ``GuardConfig`` / ``Guard``) opts into
+    paranoid mode.  Guarded runs always simulate: they bypass both the
+    memo cache and the result store on lookup *and* on write-through --
+    a cached result proves nothing about invariants, and a chaos run's
+    result must never poison the caches.
+    """
+    if guard is not None and guard is not False:
+        return _run_guarded(cfg, guard)
     cached, _source = cached_result(cfg)
     if cached is not None:
         return cached
+    result = _build(cfg).run()
+    prime(cfg, result)
+    return result
+
+
+def _build(cfg: RunConfig):
     system = scaled_system(num_cores=cfg.num_cores, dc_megabytes=cfg.dc_megabytes)
-    machine = build_machine(
+    return build_machine(
         cfg.scheme,
         workload_name=cfg.workload,
         cfg=system,
@@ -194,9 +209,13 @@ def run_workload(cfg: RunConfig) -> MachineResult:
         tdc_cfg=cfg.tdc_cfg,
         tid_cfg=cfg.tid_cfg,
     )
-    result = machine.run()
-    prime(cfg, result)
-    return result
+
+
+def _run_guarded(cfg: RunConfig, guard) -> MachineResult:
+    from repro.guard import as_guard
+
+    guard_obj = as_guard(guard, run_config=cfg.to_dict())
+    return _build(cfg).run(guard=guard_obj)
 
 
 def run_matrix(

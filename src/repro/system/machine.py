@@ -16,6 +16,7 @@ from repro.common.types import PAGE_SIZE, TrafficClass
 from repro.config.system import SystemConfig
 from repro.cpu.core import Core
 from repro.engine.simulator import Simulator
+from repro.guard.errors import DeadlockError
 
 
 @dataclass
@@ -117,9 +118,25 @@ class Machine:
 
     # -- run ------------------------------------------------------------------
 
-    def run(self, max_events: Optional[int] = None) -> MachineResult:
+    def run(self, max_events: Optional[int] = None, guard=None) -> MachineResult:
+        """Drive the simulation to completion.
+
+        ``guard`` opts into paranoid mode (off by default, so golden
+        bit-identity and bench numbers are untouched): pass ``True``, a
+        ``repro.guard.GuardConfig``, or a ``repro.guard.Guard``.  A
+        guarded run validates component invariants every N events, trips
+        a forward-progress watchdog on livelock/deadlock, and writes a
+        diagnostic bundle (replayable via ``python -m repro replay``)
+        when it dies.
+        """
         import gc
 
+        from repro.guard import as_guard
+
+        guard_obj = as_guard(guard)
+        if guard_obj is not None:
+            guard_obj.install(self)
+            self.sim.attach_guard(guard_obj)
         for core in self.cores:
             core.start()
         # The event loop allocates heavily (events, closures, cache
@@ -132,16 +149,41 @@ class Machine:
         if was_enabled:
             gc.disable()
         try:
-            self.sim.run(max_events=max_events)
+            try:
+                self.sim.run(max_events=max_events)
+                if guard_obj is not None:
+                    # Catch corruption introduced after the last sweep.
+                    guard_obj.check_now()
+                if self._finished != len(self.cores):
+                    raise DeadlockError(self._stall_report())
+            except Exception as exc:
+                if guard_obj is not None:
+                    guard_obj.last_exception = exc
+                    guard_obj.events_at_failure = self.sim.events_processed
+                    bundle_path = guard_obj.write_bundle(exc)
+                    if bundle_path is not None:
+                        try:
+                            exc.bundle_path = str(bundle_path)
+                        except AttributeError:
+                            pass  # exceptions with __slots__
+                raise
         finally:
             if was_enabled:
                 gc.enable()
-        if self._finished != len(self.cores):
-            raise RuntimeError(
-                f"simulation stalled: {self._finished}/{len(self.cores)} cores "
-                f"finished, {self.sim.pending_events} events pending"
-            )
+            if guard_obj is not None:
+                self.sim.attach_guard(None)
         return self.result()
+
+    def _stall_report(self) -> str:
+        """Queue head + per-component summaries for a stalled drain."""
+        from repro.guard.core import progress_report
+
+        lines = [
+            f"simulation stalled: {self._finished}/{len(self.cores)} cores "
+            f"finished, {self.sim.pending_events} events pending"
+        ]
+        lines.extend(progress_report(self))
+        return "\n".join(lines)
 
     def result(self) -> MachineResult:
         cfg = self.cfg

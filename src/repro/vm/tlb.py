@@ -93,3 +93,35 @@ class TLB:
     @property
     def occupancy(self) -> int:
         return len(self._l2)
+
+    def consistency_problems(self) -> list:
+        """Self-check of the TLB's structural invariants (guard sweeps).
+
+        The L2 is inclusive of the L1, both levels are capacity-bounded,
+        and a vpn resident in both levels must map to the same PTE
+        object (install/invalidate always update the levels together).
+        """
+        problems = []
+        if len(self._l1) > self.cfg.l1_entries:
+            problems.append(
+                f"core{self.core_id} L1 TLB holds {len(self._l1)} entries, "
+                f"capacity {self.cfg.l1_entries}"
+            )
+        if len(self._l2) > self.cfg.l2_entries:
+            problems.append(
+                f"core{self.core_id} L2 TLB holds {len(self._l2)} entries, "
+                f"capacity {self.cfg.l2_entries}"
+            )
+        for vpn, pte in self._l1.items():
+            l2_pte = self._l2.get(vpn)
+            if l2_pte is None:
+                problems.append(
+                    f"core{self.core_id} vpn={vpn} in L1 but not L2: "
+                    f"inclusion broken"
+                )
+            elif l2_pte is not pte:
+                problems.append(
+                    f"core{self.core_id} vpn={vpn} maps different PTE "
+                    f"objects in L1 and L2"
+                )
+        return problems

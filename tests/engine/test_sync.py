@@ -51,6 +51,57 @@ def test_release_unheld_raises(sim):
         m.release()
 
 
+def test_release_unheld_names_never_acquired(sim):
+    m = Mutex(sim, name="frame_mutex")
+    with pytest.raises(RuntimeError, match="frame_mutex.*never acquired"):
+        m.release()
+
+
+def test_release_unheld_names_last_holder(sim):
+    m = Mutex(sim)
+    m.acquire(lambda: None, owner="tag_miss_handler")
+    sim.schedule(25, m.release)
+    sim.run()
+    with pytest.raises(RuntimeError) as excinfo:
+        m.release()
+    msg = str(excinfo.value)
+    assert "tag_miss_handler" in msg
+    assert "t=25" in msg  # when the last holder released
+
+
+def test_holder_tracks_owner_labels(sim):
+    m = Mutex(sim)
+    assert m.holder is None
+    m.acquire(lambda: None, owner="daemon")
+    assert m.holder == "daemon"
+    m.release()
+    assert m.holder is None
+
+
+def test_holder_defaults_to_callback_qualname(sim):
+    m = Mutex(sim)
+
+    def grab():
+        pass
+
+    m.acquire(grab)
+    assert "grab" in m.holder
+
+
+def test_double_acquire_queues_fifo_and_hands_off_holder(sim):
+    m = Mutex(sim)
+    m.acquire(lambda: None, owner="first")
+    m.acquire(lambda: None, owner="second")  # same logical actor re-entering
+    assert m.holder == "first"
+    assert m.queue_depth == 1
+    m.release()
+    sim.run()  # the hand-off fires in a fresh event
+    assert m.holder == "second"
+    assert m.locked
+    m.release()
+    assert not m.locked
+
+
 def test_contention_counters(sim):
     m = Mutex(sim)
     m.acquire(lambda: None)

@@ -1,0 +1,14 @@
+"""Shared guard-test helpers: small machines, fast guard configs."""
+
+import pytest
+
+from repro.harness.runner import RunConfig
+
+
+@pytest.fixture
+def small_cfg():
+    """A NOMAD run small enough for per-test guarded simulation."""
+    return RunConfig(
+        scheme="nomad", workload="cact",
+        num_mem_ops=800, num_cores=2, dc_megabytes=16,
+    )

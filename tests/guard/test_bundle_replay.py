@@ -1,0 +1,81 @@
+"""Crash bundles and deterministic replay."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.guard import GuardConfig
+from repro.guard.bundle import load_bundle, replay_bundle
+from repro.guard.errors import GuardError
+from repro.harness.runner import run_workload
+
+
+@pytest.fixture
+def crashed(small_cfg, tmp_path):
+    """Run to a deterministic chaos crash; returns (exc, bundle_path)."""
+    gcfg = GuardConfig(
+        check_interval=200, chaos="leak_mshr", chaos_at_event=500,
+        bundle_dir=str(tmp_path),
+    )
+    with pytest.raises(GuardError) as excinfo:
+        run_workload(small_cfg, guard=gcfg)
+    exc = excinfo.value
+    assert exc.bundle_path, "guarded crash must leave a bundle"
+    return exc, exc.bundle_path
+
+
+def test_bundle_contents(crashed, small_cfg):
+    exc, path = crashed
+    payload = load_bundle(path)
+    assert payload["bundle_version"] == 1
+    assert payload["run_config"] == small_cfg.to_dict()
+    assert payload["guard_config"]["chaos"] == "leak_mshr"
+    assert payload["error"]["type"] == "InvariantViolation"
+    assert payload["error"]["checker"] == "mshr"
+    assert payload["error"]["failure_kind"] == "invariant"
+    assert payload["error"]["traceback"]
+    assert payload["events_processed"] > 0
+    assert payload["ring"], "ring buffer of recent events must be present"
+    assert payload["components"], "component state dumps must be present"
+    # The bundle is a plain-JSON artifact (portable, greppable).
+    bundle_file = [p for p in Path(path).iterdir()
+                   if p.name == "bundle.json"]
+    assert bundle_file
+    json.loads(bundle_file[0].read_text())
+
+
+def test_replay_reproduces_failure(crashed):
+    exc, path = crashed
+    report = replay_bundle(path)
+    assert report.reproduced, report.detail
+    assert report.observed["type"] == type(exc).__name__
+    assert report.observed["checker"] == "mshr"
+    # Same failing invariant at the same event count: determinism.
+    assert report.observed["events_processed"] == \
+        report.expected["events_processed"]
+
+
+def test_replay_cli_round_trip(crashed, capsys):
+    from repro.cli import main
+
+    _, path = crashed
+    rc = main(["replay", path, "--json"])
+    out = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert out["reproduced"] is True
+
+
+def test_load_bundle_rejects_garbage(tmp_path):
+    bad = tmp_path / "bundle.json"
+    bad.write_text("{not json")
+    with pytest.raises(GuardError):
+        load_bundle(bad)
+
+
+def test_write_bundle_disabled(small_cfg):
+    gcfg = GuardConfig(check_interval=200, chaos="leak_mshr",
+                       chaos_at_event=500, write_bundle=False)
+    with pytest.raises(GuardError) as excinfo:
+        run_workload(small_cfg, guard=gcfg)
+    assert not excinfo.value.bundle_path

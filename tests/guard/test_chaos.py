@@ -1,0 +1,53 @@
+"""Chaos self-test: every injection must be caught by its checker.
+
+This is the guard layer's proof of coverage -- a checker that silently
+stops detecting its corruption class shows up here, not in a production
+debugging session months later.
+"""
+
+import pytest
+
+from repro.guard import Guard, GuardConfig
+from repro.guard.chaos import INJECTIONS, apply_injection
+from repro.guard.errors import DeadlockError, GuardError, InvariantViolation
+from repro.harness.runner import run_workload
+
+
+def _chaos_config(name):
+    return GuardConfig(
+        check_interval=200,
+        chaos=name,
+        chaos_at_event=500,
+        deadlock_cycles=20_000,
+        livelock_events=5_000,
+        write_bundle=False,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(INJECTIONS))
+def test_injection_caught_by_matching_checker(name, small_cfg):
+    guard = Guard(_chaos_config(name))
+    with pytest.raises(GuardError) as excinfo:
+        run_workload(small_cfg, guard=guard)
+    exc = excinfo.value
+    # The injection was actually applied, and the checker that raised is
+    # exactly the one the injector declared it was corrupting for.
+    assert guard.chaos_applied == name
+    assert exc.checker == guard.chaos_expected_checker
+    if name == "inject_deadlock":
+        assert isinstance(exc, DeadlockError)
+        assert exc.checker == "forward_progress"
+    else:
+        assert isinstance(exc, InvariantViolation)
+        assert exc.problems  # typed detail, not a bare crash
+
+
+def test_unknown_injection_rejected():
+    with pytest.raises(ValueError, match="unknown chaos injection"):
+        apply_injection("made_up", machine=None)
+
+
+def test_unguarded_run_is_unaffected(small_cfg):
+    """Chaos lives in GuardConfig: without a guard nothing is injected."""
+    result = run_workload(small_cfg)
+    assert result.instructions > 0

@@ -52,9 +52,37 @@ def test_compare(capsys):
         assert scheme in out
 
 
-def test_invalid_scheme_rejected():
-    with pytest.raises(SystemExit):
-        main(["run", "--scheme", "bogus", "--workload", "sop"])
+def test_invalid_scheme_rejected(capsys):
+    rc = main(["run", "--scheme", "bogus", "--workload", "sop"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "bogus" in err and "repro list" in err
+
+
+def test_invalid_workload_rejected(capsys):
+    rc = main(["run", "--scheme", "nomad", "--workload", "nope"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "nope" in err and "repro list" in err
+
+
+def test_compare_rejects_unknown_workload(capsys):
+    rc = main(["compare", "--workload", "nope"])
+    assert rc == 2
+    assert "nope" in capsys.readouterr().err
+
+
+def test_run_guarded(capsys):
+    rc = main(["run", "--scheme", "nomad", "--workload", "sop",
+               "--ops", "200", "--cores", "2", "--dc-mb", "8", "--guard"])
+    assert rc == 0
+    assert "nomad" in capsys.readouterr().out
+
+
+def test_replay_missing_bundle(capsys):
+    rc = main(["replay", "/nonexistent/bundle"])
+    assert rc == 2
+    assert "cannot read bundle" in capsys.readouterr().err
 
 
 def test_run_json(capsys):
