@@ -36,6 +36,9 @@ def line_key(core_id: int, vaddr: int) -> int:
 class CacheHierarchy(Component):
     """L1/L2 private + shared L3 with an LLC-side MSHR file."""
 
+    # Telemetry tracer hook (repro.telemetry); instance attr when armed.
+    _tel = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -171,6 +174,8 @@ class CacheHierarchy(Component):
             self._pending_issue[key] = access
             issue_at = now + self._l3_latency
             self._schedule_at(issue_at, partial(self._issue_miss, key))
+            if self._tel is not None:
+                self._tel.mshr_begin(key, now)
         return None
 
     def _issue_miss(self, key: int) -> None:
@@ -188,12 +193,16 @@ class CacheHierarchy(Component):
         self._insert_inclusive(core, key, paddr, dirty=dirty)
         done = finish_time + self.response_latency
         mshrs = self.mshrs
+        if self._tel is not None:
+            self._tel.mshr_end(key, finish_time)
         # MSHRFile.retire inlined; overflow drain skipped when empty.
         for waiter in mshrs._entries.pop(key).waiters:
             waiter(done)
         if mshrs._overflow:
             for promoted in mshrs.drain_overflow(self.sim.now):
                 self._issue_miss(promoted)
+                if self._tel is not None:
+                    self._tel.mshr_begin(promoted, self.sim.now)
 
     # -- fills, evictions, invalidation ----------------------------------
 

@@ -67,6 +67,7 @@ class RunRecord:
     failure_kind: str = ""  # "" | "timeout" | "crash" | "invariant"
     bundle_path: str = ""  # diagnostic bundle of a guarded failure
     traceback: str = ""  # formatted traceback (post-mortems without reruns)
+    telemetry: Optional[dict] = None  # trace summary of an observed run
 
     def to_dict(self) -> dict:
         return {
@@ -79,6 +80,7 @@ class RunRecord:
             "bundle_path": self.bundle_path,
             "traceback": self.traceback,
             "result": self.result.to_dict() if self.result else None,
+            "telemetry": self.telemetry,
         }
 
 
@@ -231,19 +233,36 @@ def _simulate_payload(payload: dict) -> dict:
     A ``__guard__`` key (a serialized GuardConfig) arms paranoid mode;
     guard failures come back as a structured ``__failure__`` value
     rather than an exception, so the pool does not burn its crash-retry
-    budget on deterministic invariant violations.
+    budget on deterministic invariant violations.  A ``__telemetry__``
+    key (a serialized TelemetryConfig) arms observability; the trace
+    summary rides back under the same out-of-band key, keeping
+    ``MachineResult`` itself untouched.
     """
     payload = dict(payload)
     guard_dict = payload.pop("__guard__", None)
+    tel_dict = payload.pop("__telemetry__", None)
     cfg = RunConfig.from_dict(payload)
+
+    tel_obj = None
+    if tel_dict is not None:
+        from repro.telemetry import Telemetry, TelemetryConfig
+
+        tel_obj = Telemetry(TelemetryConfig.from_dict(tel_dict))
+
+    def _out(result) -> dict:
+        out = result.to_dict()
+        if tel_obj is not None:
+            out["__telemetry__"] = tel_obj.summary
+        return out
+
     if guard_dict is None:
-        return runner.run_workload(cfg).to_dict()
+        return _out(runner.run_workload(cfg, telemetry=tel_obj))
 
     from repro.guard import GuardConfig
 
     guard_cfg = GuardConfig.from_dict(guard_dict)
     try:
-        return runner.run_workload(cfg, guard=guard_cfg).to_dict()
+        return _out(runner.run_workload(cfg, guard=guard_cfg, telemetry=tel_obj))
     except Exception as exc:
         return {"__failure__": _failure_info(exc)}
 
@@ -252,22 +271,36 @@ def _simulate_payload(payload: dict) -> dict:
 # Serial guarded execution (attempt + deterministic-failure confirmation)
 # ---------------------------------------------------------------------------
 
+def _fresh_telemetry(tel_cfg):
+    """One Telemetry per run attempt (or None when telemetry is off)."""
+    if tel_cfg is None:
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(tel_cfg)
+
 def _run_guarded_serial(index: int, cfg: RunConfig, guard_cfg,
-                        store) -> RunRecord:
+                        store, tel_cfg=None) -> RunRecord:
+    # A fresh Telemetry per attempt: a failed attempt's half-built trace
+    # must not leak into the retry's.
+    tel_obj = _fresh_telemetry(tel_cfg)
     try:
-        result = runner.run_workload(cfg, guard=guard_cfg)
+        result = runner.run_workload(cfg, guard=guard_cfg, telemetry=tel_obj)
         return RunRecord(
-            index, cfg, COMPLETED, result, source="simulated", attempts=1
+            index, cfg, COMPLETED, result, source="simulated", attempts=1,
+            telemetry=tel_obj.summary if tel_obj is not None else None,
         )
     except Exception as exc:
         first = _failure_info(exc)
     # One confirmation attempt decides deterministic vs. transient; a
     # deterministic failure is quarantined, never retried further.
+    tel_obj = _fresh_telemetry(tel_cfg)
     try:
-        result = runner.run_workload(cfg, guard=guard_cfg)
+        result = runner.run_workload(cfg, guard=guard_cfg, telemetry=tel_obj)
         return RunRecord(
             index, cfg, COMPLETED, result, source="simulated", attempts=2,
             error=f"transient failure on first attempt: {first['error']}",
+            telemetry=tel_obj.summary if tel_obj is not None else None,
         )
     except Exception as exc:
         second = _failure_info(exc)
@@ -300,6 +333,47 @@ def _record_pool_failure(index: int, cfg: RunConfig, outcome, store,
 # Entry point
 # ---------------------------------------------------------------------------
 
+def _as_campaign_telemetry(telemetry):
+    """Normalize ``telemetry=`` to a TelemetryConfig (or None).
+
+    ``True`` selects the campaign default categories -- everything but
+    the per-burst ``dram`` spans, which are too hot for a whole sweep.
+    """
+    if telemetry is None or telemetry is False:
+        return None
+    from repro.telemetry import DEFAULT_CAMPAIGN_CATEGORIES, TelemetryConfig
+
+    if isinstance(telemetry, TelemetryConfig):
+        return telemetry
+    if isinstance(telemetry, dict):
+        return TelemetryConfig.from_dict(telemetry)
+    if telemetry is True:
+        return TelemetryConfig(categories=DEFAULT_CAMPAIGN_CATEGORIES)
+    raise TypeError(
+        f"campaign telemetry must be None, bool, dict, or TelemetryConfig, "
+        f"not {type(telemetry).__name__}"
+    )
+
+
+def _as_progress(progress):
+    """Normalize ``progress=`` to an ``on_event(kind, info)`` callable."""
+    if progress is None or progress is False:
+        return None
+    if progress is True:
+        import sys
+
+        def _print(kind: str, info: dict) -> None:
+            print(
+                f"campaign: {info['completed']}/{info['total']} done, "
+                f"{info['outstanding']} running"
+                + (" (heartbeat)" if kind == "heartbeat" else ""),
+                file=sys.stderr,
+            )
+
+        return _print
+    return progress
+
+
 def run_campaign(
     grid: Union[GridSpec, Iterable[RunConfig]],
     jobs: int = 1,
@@ -307,6 +381,8 @@ def run_campaign(
     timeout: Optional[float] = None,
     retries: int = 1,
     guard=None,
+    telemetry=None,
+    progress=None,
 ) -> CampaignResult:
     """Execute every run of *grid*; never raises for individual runs.
 
@@ -314,6 +390,14 @@ def run_campaign(
     pass a :class:`ResultStore` to use -- and install for the duration --
     a specific one.  ``guard`` (``True`` or a ``GuardConfig``) runs the
     whole campaign in paranoid mode.
+
+    ``telemetry`` (``True`` or a ``TelemetryConfig``) observes every
+    simulated run; each record carries the trace summary in
+    ``RunRecord.telemetry``.  Telemetry runs always simulate (a cached
+    result has no trace), but their results still prime the caches when
+    unguarded.  ``progress`` (``True`` for a stderr printer, or a
+    callable) reports live ``done``/``heartbeat`` events while a pool
+    campaign drains.
     """
     t0 = time.monotonic()
     configs = grid.expand() if isinstance(grid, GridSpec) else list(grid)
@@ -330,6 +414,9 @@ def run_campaign(
         else:
             guard_cfg = GuardConfig()
 
+    tel_cfg = _as_campaign_telemetry(telemetry)
+    on_event = _as_progress(progress)
+
     effective_store = store if store is not None else runner.get_result_store()
     prev_store = runner.set_result_store(effective_store)
     try:
@@ -342,7 +429,7 @@ def run_campaign(
                         i, cfg, QUARANTINED, known, attempts=0, source="store"
                     )
                     continue
-            if guard_cfg is None:
+            if guard_cfg is None and tel_cfg is None:
                 result, source = runner.cached_result(cfg)
                 if result is not None:
                     records[i] = RunRecord(i, cfg, CACHED, result, source=source)
@@ -350,34 +437,50 @@ def run_campaign(
             pending.append(i)
 
         if jobs <= 1 or len(pending) <= 1:
-            for i in pending:
+            for serial_done, i in enumerate(pending):
                 cfg = configs[i]
                 if guard_cfg is not None:
                     records[i] = _run_guarded_serial(
-                        i, cfg, guard_cfg, effective_store
+                        i, cfg, guard_cfg, effective_store, tel_cfg
                     )
-                    continue
-                try:
-                    result = runner.run_workload(cfg)
-                    records[i] = RunRecord(
-                        i, cfg, COMPLETED, result, source="simulated", attempts=1
-                    )
-                except Exception as exc:
-                    records[i] = _failed_record(
-                        i, cfg, FAILED, _failure_info(exc), attempts=1
-                    )
+                else:
+                    tel_obj = _fresh_telemetry(tel_cfg)
+                    try:
+                        result = runner.run_workload(cfg, telemetry=tel_obj)
+                        records[i] = RunRecord(
+                            i, cfg, COMPLETED, result,
+                            source="simulated", attempts=1,
+                            telemetry=(
+                                tel_obj.summary if tel_obj is not None else None
+                            ),
+                        )
+                    except Exception as exc:
+                        records[i] = _failed_record(
+                            i, cfg, FAILED, _failure_info(exc), attempts=1
+                        )
+                if on_event is not None:
+                    on_event("done", {
+                        "completed": serial_done + 1,
+                        "outstanding": len(pending) - serial_done - 1,
+                        "total": len(pending),
+                    })
         elif pending:
             guard_dict = guard_cfg.to_dict() if guard_cfg is not None else None
+            tel_dict = tel_cfg.to_dict() if tel_cfg is not None else None
 
             def _payload(i: int) -> dict:
                 payload = configs[i].to_dict()
                 if guard_dict is not None:
                     payload["__guard__"] = guard_dict
+                if tel_dict is not None:
+                    payload["__telemetry__"] = tel_dict
                 return payload
 
+            heartbeat = 2.0 if on_event is not None else None
             outcomes = _pool.map_with_retries(
                 _simulate_payload, [_payload(i) for i in pending],
                 jobs=jobs, timeout=timeout, retries=retries,
+                heartbeat=heartbeat, on_event=on_event,
             )
             confirm: List[Tuple[int, Dict[str, str], int]] = []
             for outcome, i in zip(outcomes, pending):
@@ -391,12 +494,14 @@ def run_campaign(
                 if isinstance(value, dict) and "__failure__" in value:
                     confirm.append((i, value["__failure__"], outcome.attempts))
                     continue
+                tel_summary = value.pop("__telemetry__", None)
                 result = MachineResult.from_dict(value)
                 if guard_cfg is None:
                     runner.prime(cfg, result)
                 records[i] = RunRecord(
                     i, cfg, COMPLETED, result,
                     source="simulated", attempts=outcome.attempts,
+                    telemetry=tel_summary,
                 )
             if confirm:
                 # Guard failures get exactly one confirmation attempt
@@ -404,6 +509,7 @@ def run_campaign(
                 outcomes2 = _pool.map_with_retries(
                     _simulate_payload, [_payload(i) for i, _, _ in confirm],
                     jobs=jobs, timeout=timeout, retries=0,
+                    heartbeat=heartbeat, on_event=on_event,
                 )
                 for (i, first, attempts1), outcome2 in zip(confirm, outcomes2):
                     cfg = configs[i]
@@ -427,12 +533,14 @@ def run_campaign(
                                 i, cfg, FAILED, second, attempts
                             )
                         continue
+                    tel_summary2 = value2.pop("__telemetry__", None)
                     result = MachineResult.from_dict(value2)
                     records[i] = RunRecord(
                         i, cfg, COMPLETED, result,
                         source="simulated", attempts=attempts,
                         error=f"transient failure on first attempt: "
                               f"{first.get('error', '')}",
+                        telemetry=tel_summary2,
                     )
     finally:
         runner.set_result_store(prev_store)

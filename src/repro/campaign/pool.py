@@ -20,6 +20,7 @@ workers.  Guarantees:
 from __future__ import annotations
 
 import concurrent.futures as cf
+import time as _time
 import traceback as _traceback
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -72,17 +73,37 @@ def map_with_retries(
     jobs: int = 2,
     timeout: Optional[float] = None,
     retries: int = 1,
+    heartbeat: Optional[float] = None,
+    on_event: Optional[Callable[[str, dict], None]] = None,
 ) -> List[TaskOutcome]:
     """Apply *fn* to every payload across worker processes.
 
     ``timeout`` is a stall watchdog: the time with *no* task completion
     after which outstanding workers are presumed hung.  ``retries`` is
     the number of *extra* attempts granted to crashed/hung tasks.
+
+    ``heartbeat`` (seconds) slices the waits so ``on_event`` can report
+    live progress: ``on_event("done", info)`` after each batch of
+    completions, ``on_event("heartbeat", info)`` when a slice elapses
+    with nothing finished, with ``info = {completed, outstanding,
+    total}``.  The watchdog still measures time since the *last
+    completion*, so a heartbeat never masks a hang.
     """
     n = len(payloads)
     outcomes = [TaskOutcome(index=i) for i in range(n)]
     attempts = [0] * n
     pending = list(range(n))
+
+    def _notify(kind: str, outstanding: int) -> None:
+        if on_event is not None:
+            done_count = sum(
+                1 for o in outcomes if o.status in (OK, ERROR)
+            )
+            on_event(kind, {
+                "completed": done_count,
+                "outstanding": outstanding,
+                "total": n,
+            })
 
     while pending:
         pool = cf.ProcessPoolExecutor(max_workers=max(1, min(jobs, len(pending))))
@@ -93,9 +114,25 @@ def map_with_retries(
         retry: List[int] = []
         broken = False
         not_done = set(futures)
+        last_completion = _time.monotonic()
         while not_done:
-            done, not_done = cf.wait(not_done, timeout=timeout)
+            wait_t = timeout
+            if timeout is not None:
+                # Budget remaining before the watchdog may fire.
+                wait_t = timeout - (_time.monotonic() - last_completion)
+            if heartbeat is not None:
+                wait_t = heartbeat if wait_t is None else min(heartbeat, wait_t)
+            if wait_t is not None and wait_t < 0:
+                wait_t = 0
+            done, not_done = cf.wait(not_done, timeout=wait_t)
             if not done:
+                stalled = (
+                    timeout is not None
+                    and _time.monotonic() - last_completion >= timeout
+                )
+                if not stalled:
+                    _notify("heartbeat", len(not_done))
+                    continue
                 # Watchdog: nothing finished within `timeout` seconds.
                 for fut in not_done:
                     i = futures[fut]
@@ -108,6 +145,7 @@ def map_with_retries(
                     retry.append(i)
                 broken = True
                 break
+            last_completion = _time.monotonic()
             for fut in done:
                 i = futures[fut]
                 try:
@@ -135,6 +173,7 @@ def map_with_retries(
                         attempts=attempts[i],
                         traceback=_format_tb(exc),
                     )
+            _notify("done", len(not_done))
         if broken:
             _kill_pool(pool)
         else:

@@ -2,6 +2,8 @@
 
     python -m repro run --scheme nomad --workload cact
     python -m repro run --scheme nomad --workload cact --guard
+    python -m repro run --scheme nomad --workload cact --timeline t.json
+    python -m repro timeline t.json
     python -m repro compare --workload cact --ops 6000
     python -m repro sweep --schemes tdc,nomad --pcshrs 8,32 --jobs 4
     python -m repro replay ~/.cache/repro-nomad/bundles/bundle-.../
@@ -83,8 +85,18 @@ def cmd_run(args) -> int:
         nomad_cfg=nomad_cfg,
     )
     guard = True if getattr(args, "guard", False) else None
+
+    telemetry = None
+    if args.timeline or args.metrics_out:
+        from repro.telemetry import Telemetry, TelemetryConfig
+
+        telemetry = Telemetry(TelemetryConfig(
+            sample_every=args.sample_every,
+            timeline_path=args.timeline,
+        ))
     from repro.guard.errors import GuardError
 
+    machine = None
     try:
         if args.profile:
             import cProfile
@@ -98,14 +110,21 @@ def cmd_run(args) -> int:
             clear_trace_cache()
             profiler = cProfile.Profile()
             profiler.enable()
-            res = run_workload(cfg, guard=guard)
+            res = run_workload(cfg, guard=guard, telemetry=telemetry)
             profiler.disable()
             profiler.dump_stats(args.profile)
             stats = pstats.Stats(profiler)
             stats.sort_stats("cumulative").print_stats(20)
             print(f"profile written to {args.profile} (binary pstats)")
+        elif args.metrics_out:
+            # The metrics dump needs the machine back, not just the result.
+            from repro.harness.runner import prime, simulate
+
+            res, machine = simulate(cfg, guard=guard, telemetry=telemetry)
+            if guard is None:
+                prime(cfg, res)
         else:
-            res = run_workload(cfg, guard=guard)
+            res = run_workload(cfg, guard=guard, telemetry=telemetry)
     except GuardError as exc:
         print(f"guard failure: {exc}", file=sys.stderr)
         bundle = getattr(exc, "bundle_path", None)
@@ -114,14 +133,31 @@ def cmd_run(args) -> int:
             print(f"reproduce with: python -m repro replay {bundle}",
                   file=sys.stderr)
         return 1
+    if args.metrics_out and machine is not None:
+        from pathlib import Path
+
+        metrics_path = Path(args.metrics_out)
+        if metrics_path.parent != Path(""):
+            metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(machine.metrics(), indent=1, sort_keys=True)
+        )
     if args.json:
-        _emit_json({"config": cfg.to_dict(), "result": res.to_dict()})
+        payload = {"config": cfg.to_dict(), "result": res.to_dict()}
+        if telemetry is not None and telemetry.summary is not None:
+            payload["telemetry"] = telemetry.summary
+        _emit_json(payload)
         return 0
     print(format_table([_result_row(res)], title="run result"))
     if res.tag_mgmt_latency is not None:
         print(f"\ntag management latency: {res.tag_mgmt_latency:.0f} cycles")
     if res.buffer_hit_ratio is not None:
         print(f"page-copy-buffer hit ratio: {res.buffer_hit_ratio:.1%}")
+    if args.timeline:
+        print(f"timeline written to {args.timeline} "
+              f"(summarize with: python -m repro timeline {args.timeline})")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -191,6 +227,8 @@ def cmd_sweep(args) -> int:
         grid, jobs=args.jobs, store=store,
         timeout=args.timeout, retries=args.retries,
         guard=True if args.guard else None,
+        telemetry=True if args.telemetry else None,
+        progress=None if args.no_progress else True,
     )
 
     if args.json:
@@ -215,11 +253,17 @@ def cmd_sweep(args) -> int:
             row["error"] = rec.error
             if rec.failure_kind:
                 row["kind"] = rec.failure_kind
+        if rec.telemetry is not None:
+            frac = rec.telemetry.get("overlap_fraction")
+            if frac is not None:
+                row["overlap"] = frac
         rows.append(row)
     columns = ["scheme", "workload", "seed"]
     if any("pcshrs" in r for r in rows):
         columns.append("pcshrs")
     columns += ["status", "source", "ipc", "dc_access_time"]
+    if any("overlap" in r for r in rows):
+        columns.append("overlap")
     if any(r.get("kind") for r in rows):
         columns.append("kind")
     if any(r.get("error") for r in rows):
@@ -295,6 +339,33 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_timeline(args) -> int:
+    from repro.telemetry.timeline import (
+        describe_summary,
+        load_trace,
+        summarize_trace,
+    )
+    from repro.telemetry.trace_schema import validate_trace
+
+    try:
+        doc = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_trace(doc)
+    if problems:
+        print(f"error: {args.trace} fails schema validation:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(doc)
+    if args.json:
+        _emit_json(summary)
+    else:
+        print(describe_summary(summary))
+    return 0
+
+
 def cmd_replay(args) -> int:
     from repro.guard.bundle import replay_bundle
     from repro.guard.errors import GuardError
@@ -359,6 +430,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--profile", default=None, metavar="PATH",
                        help="cProfile the run; dump binary pstats to PATH "
                             "and print the top 20 by cumulative time")
+    p_run.add_argument("--timeline", default=None, metavar="PATH",
+                       help="record telemetry and write a Perfetto "
+                            "trace-event JSON timeline to PATH")
+    p_run.add_argument("--sample-every", type=int, default=5000,
+                       metavar="N", help="telemetry sampling period in "
+                                         "cycles (default 5000; 0 = off)")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="dump the full flat component-metrics JSON "
+                            "(every StatGroup counter) to PATH")
     add_common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -392,6 +472,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--guard", action="store_true",
                       help="paranoid mode for every run; deterministic "
                            "failures are quarantined in the store")
+    p_sw.add_argument("--telemetry", action="store_true",
+                      help="observe every run (campaign categories, no "
+                           "dram spans); records carry trace summaries")
+    p_sw.add_argument("--no-progress", action="store_true",
+                      help="suppress the live progress/heartbeat lines "
+                           "on stderr")
     add_common(p_sw)
     p_sw.set_defaults(func=cmd_sweep)
 
@@ -417,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", action="store_true",
                          help="structured JSON output instead of tables")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_tl = sub.add_parser(
+        "timeline", help="validate + summarize a telemetry trace file"
+    )
+    p_tl.add_argument("trace", help="trace JSON written by run --timeline")
+    p_tl.add_argument("--json", action="store_true",
+                      help="structured JSON summary instead of text")
+    p_tl.set_defaults(func=cmd_timeline)
 
     p_replay = sub.add_parser(
         "replay", help="re-run a guard diagnostic bundle deterministically"

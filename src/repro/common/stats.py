@@ -244,6 +244,9 @@ class StatGroup:
             elif isinstance(stat, Histogram):
                 out[f"{name}.mean"] = stat.mean
                 out[f"{name}.count"] = stat.count
+                out[f"{name}.p50"] = stat.percentile(50)
+                out[f"{name}.p95"] = stat.percentile(95)
+                out[f"{name}.p99"] = stat.percentile(99)
             elif isinstance(stat, BandwidthMeter):
                 out[f"{name}.total_bytes"] = stat.total_bytes
                 for tc, b in stat.bytes_by_class.items():

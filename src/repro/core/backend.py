@@ -43,6 +43,9 @@ from repro.engine.simulator import Component, Simulator
 class Backend(Component, DataManager):
     """One back-end: interface + PCSHR file + page copy buffers."""
 
+    # Telemetry tracer hook (repro.telemetry); instance attr when armed.
+    _tel = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -151,6 +154,14 @@ class Backend(Component, DataManager):
             self._fill_cmds.inc()
         else:
             self._wb_cmds.inc()
+        if self._tel is not None:
+            self._tel.copy_begin(
+                (self.name, pcshr.index),
+                "fill" if cmd_type == CommandType.CACHE_FILL else "writeback",
+                self.sim.now,
+                {"cfn": cfn, "pfn": pfn, "pcshr": pcshr.index,
+                 "backend": self.name},
+            )
         self.buffers.acquire(lambda p=pcshr: self._launch(p))
 
     # ------------------------------------------------------------------
@@ -168,6 +179,10 @@ class Backend(Component, DataManager):
         for sub in order:
             arrivals[sub] = src.access(base + sub * 64, False, tc)
         pcshr.launch(self.sim.now, arrivals)
+        if self._tel is not None:
+            self._tel.copy_instant(
+                (self.name, pcshr.index), "launch", self.sim.now
+            )
         last = max(arrivals)
         self.sim.schedule_at(last, lambda p=pcshr: self._transfer_in_done(p))
         # Wake any reads that were parked while waiting for a buffer.
@@ -180,6 +195,10 @@ class Backend(Component, DataManager):
 
     def _transfer_in_done(self, pcshr: PCSHR) -> None:
         """Everything is in the buffer; drain to the destination device."""
+        if self._tel is not None:
+            self._tel.copy_instant(
+                (self.name, pcshr.index), "drain", self.sim.now
+            )
         if pcshr.cmd_type == CommandType.CACHE_FILL:
             dst, base, tc = self.hbm, pcshr.cfn * PAGE_SIZE, TrafficClass.FILL
         else:
@@ -192,6 +211,8 @@ class Backend(Component, DataManager):
         self.sim.schedule_at(pcshr.free_at, lambda p=pcshr: self._complete(p))
 
     def _complete(self, pcshr: PCSHR) -> None:
+        if self._tel is not None:
+            self._tel.copy_end((self.name, pcshr.index), self.sim.now)
         pcshr.sync(self.sim.now)
         waiters, pcshr.complete_waiters = pcshr.complete_waiters, []
         for waiter in waiters:

@@ -69,6 +69,9 @@ class DataManager:
 class FrontEnd(Component):
     """Cache-frame management: tag miss handler + eviction daemon."""
 
+    # Telemetry tracer hook (repro.telemetry); instance attr when armed.
+    _tel = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -136,6 +139,13 @@ class FrontEnd(Component):
         """Resolve a DC tag miss; ``done(resume_time)`` fires when the
         application thread may continue."""
         t0 = self.sim.now
+        if self._tel is not None:
+            tel, inner = self._tel, done
+
+            def done(t: int, _tel=tel, _inner=inner) -> None:
+                _tel.os_span(f"core{core_id}", "tag_miss", t0, t - t0)
+                _inner(t)
+
 
         def _with_mutex():
             # Two serialized on-package reads + sync overhead (~400 cyc).
@@ -252,6 +262,10 @@ class FrontEnd(Component):
     def _daemon_batch_begin(self) -> None:
         self._evict_remaining = self.eviction_batch
         self._batch_freed = 0
+        if self._tel is not None:
+            self._tel.os_begin(
+                ("daemon",), "eviction_batch", "daemon", self.sim.now
+            )
         self._daemon_step()
 
     def _daemon_step(self) -> None:
@@ -322,6 +336,10 @@ class FrontEnd(Component):
                 mapped.dirty_in_cache = False
 
     def _daemon_finish(self) -> None:
+        if self._tel is not None:
+            self._tel.os_end(
+                ("daemon",), self.sim.now, {"freed": self._batch_freed}
+            )
         if self._batch_freed == 0 and self._frame_waiters:
             # Fallback: every reclaimable frame was TLB-resident.  Force a
             # shootdown on one frame so allocation can make progress.

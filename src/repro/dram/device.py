@@ -22,6 +22,9 @@ class DRAMDevice(Component):
     service critical-data-first requests from the page copy buffer.
     """
 
+    # Telemetry tracer hook (repro.telemetry); instance attr when armed.
+    _tel = None
+
     def __init__(self, sim: Simulator, name: str, cfg: DRAMTimingConfig, cpu_ghz: float):
         super().__init__(sim, name)
         self.cfg = cfg
@@ -76,21 +79,21 @@ class DRAMDevice(Component):
         # Bank.access inlined (row-buffer state machine, open-page policy).
         now = self.sim.now
         ready_at = bank.ready_at
-        start = now if now > ready_at else ready_at
+        svc = now if now > ready_at else ready_at
         open_row = bank.open_row
         if open_row == row:
             ch.row_hits += 1
-            column = start
+            column = svc
         elif open_row is None:
             ch.row_closed += 1
-            column = start + ch._trcd  # activate at `start`
-            bank.activated_at = start
+            column = svc + ch._trcd  # activate at `svc`
+            bank.activated_at = svc
         else:
             ch.row_conflicts += 1
             # Respect tRAS before precharging the currently open row.
             precharge = bank.activated_at + ch._tras
-            if start > precharge:
-                precharge = start
+            if svc > precharge:
+                precharge = svc
             activate = precharge + ch._trp
             column = activate + ch._trcd
             bank.activated_at = activate
@@ -103,6 +106,14 @@ class DRAMDevice(Component):
         start = data_ready if data_ready > bus_free else bus_free
         end = start + tburst
         ch.bus_free_at = end
+
+        if self._tel is not None:
+            self._tel.dram_span(
+                self.name,
+                burst % self._num_channels,
+                row_global % self._banks_per_channel,
+                svc, end, is_write, traffic_class,
+            )
 
         if is_write:
             ch.writes += 1

@@ -91,6 +91,7 @@ def write_bundle(guard: Guard, exc: BaseException, machine) -> Path:
             f"t={t} seq={s} {callback_name(cb)}" for t, s, cb in guard.ring
         ],
         "components": components,
+        "telemetry_window": guard.telemetry_window,
     }
     (path / "bundle.json").write_text(
         json.dumps(data, indent=1, sort_keys=True, default=str)
@@ -120,6 +121,7 @@ class ReplayReport:
     expected: dict = field(default_factory=dict)
     observed: dict = field(default_factory=dict)
     detail: str = ""
+    telemetry_window: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -128,16 +130,36 @@ class ReplayReport:
             "expected": dict(self.expected),
             "observed": dict(self.observed),
             "detail": self.detail,
+            "telemetry_window": self.telemetry_window,
         }
 
     def describe(self) -> str:
         if self.reproduced:
-            return (
+            head = (
                 f"reproduced: {self.expected.get('type')} "
                 f"({self.expected.get('checker') or 'crash'}) at "
                 f"{self.expected.get('events_processed')} events"
             )
-        return f"NOT reproduced: {self.detail}"
+        else:
+            head = f"NOT reproduced: {self.detail}"
+        window = self.telemetry_window
+        if not window:
+            return head
+        lines = [head, "telemetry at failure:"]
+        samples = window.get("samples") or []
+        if samples:
+            last = samples[-1]
+            keys = ("t", "instructions", "ipc", "active_copies",
+                    "mshr_outstanding", "free_frames", "pending_events")
+            parts = ", ".join(
+                f"{k}={last[k]}" for k in keys if k in last
+            )
+            lines.append(f"  last sample: {parts}")
+            lines.append(f"  window: {len(samples)} sample(s), "
+                         f"{window.get('num_samples', 0)} total")
+        for label in (window.get("trace_tail") or [])[-8:]:
+            lines.append(f"  {label}")
+        return "\n".join(lines)
 
 
 def replay_bundle(path: Union[str, Path]) -> ReplayReport:
@@ -208,4 +230,5 @@ def replay_bundle(path: Union[str, Path]) -> ReplayReport:
         expected=expected,
         observed=observed,
         detail=detail,
+        telemetry_window=data.get("telemetry_window"),
     )

@@ -88,6 +88,8 @@ class Guard:
         # Filled in by Machine.run when a guarded run dies.
         self.last_exception: Optional[BaseException] = None
         self.events_at_failure: Optional[int] = None
+        # Last telemetry window (when the dead run was also observed).
+        self.telemetry_window: Optional[dict] = None
 
     # -- lifecycle -----------------------------------------------------
 

@@ -177,7 +177,7 @@ def prime(cfg: RunConfig, result: MachineResult) -> None:
         _STORE.put(cfg, result)
 
 
-def run_workload(cfg: RunConfig, guard=None) -> MachineResult:
+def run_workload(cfg: RunConfig, guard=None, telemetry=None) -> MachineResult:
     """Run (or fetch the cached result of) one configuration.
 
     ``guard`` (``True`` / ``GuardConfig`` / ``Guard``) opts into
@@ -185,15 +185,43 @@ def run_workload(cfg: RunConfig, guard=None) -> MachineResult:
     memo cache and the result store on lookup *and* on write-through --
     a cached result proves nothing about invariants, and a chaos run's
     result must never poison the caches.
+
+    ``telemetry`` (``True`` / ``TelemetryConfig`` / ``Telemetry``) opts
+    into observability.  Telemetry runs always simulate (a cached result
+    has no trace), but -- being bit-identical by construction -- their
+    results are safe to prime into the caches when unguarded.
     """
     if guard is not None and guard is not False:
-        return _run_guarded(cfg, guard)
+        result, _machine = simulate(cfg, guard=guard, telemetry=telemetry)
+        return result
+    if telemetry is not None and telemetry is not False:
+        result, _machine = simulate(cfg, telemetry=telemetry)
+        prime(cfg, result)
+        return result
     cached, _source = cached_result(cfg)
     if cached is not None:
         return cached
     result = _build(cfg).run()
     prime(cfg, result)
     return result
+
+
+def simulate(cfg: RunConfig, guard=None, telemetry=None):
+    """Always-fresh simulation; returns ``(result, machine)``.
+
+    The machine comes back for callers that need post-run state the
+    result does not carry (full ``Machine.metrics()``, the telemetry
+    document).  Never consults or fills the caches -- ``run_workload``
+    layers that policy on top.
+    """
+    guard_obj = None
+    if guard is not None and guard is not False:
+        from repro.guard import as_guard
+
+        guard_obj = as_guard(guard, run_config=cfg.to_dict())
+    machine = _build(cfg)
+    result = machine.run(guard=guard_obj, telemetry=telemetry)
+    return result, machine
 
 
 def _build(cfg: RunConfig):
@@ -209,13 +237,6 @@ def _build(cfg: RunConfig):
         tdc_cfg=cfg.tdc_cfg,
         tid_cfg=cfg.tid_cfg,
     )
-
-
-def _run_guarded(cfg: RunConfig, guard) -> MachineResult:
-    from repro.guard import as_guard
-
-    guard_obj = as_guard(guard, run_config=cfg.to_dict())
-    return _build(cfg).run(guard=guard_obj)
 
 
 def run_matrix(

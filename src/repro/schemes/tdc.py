@@ -28,6 +28,9 @@ _DEMAND = TrafficClass.DEMAND
 class BlockingCopyManager(DataManager):
     """Page copies executed synchronously by the OS on the faulting CPU."""
 
+    # Telemetry tracer hook (repro.telemetry); instance attr when armed.
+    _tel = None
+
     def __init__(self, sim: Simulator, hbm: DRAMDevice, ddr: DRAMDevice):
         self.sim = sim
         self.hbm = hbm
@@ -40,6 +43,11 @@ class BlockingCopyManager(DataManager):
         """Copy the page in; the thread resumes only when it is done."""
         self.fills += 1
         self._busy_fills.add(cfn)
+        if self._tel is not None:
+            self._tel.copy_begin(
+                ("tdc", cfn), "fill", self.sim.now,
+                {"cfn": cfn, "pfn": pfn},
+            )
         on_offloaded()
         arrivals = [
             self.ddr.access(pfn * PAGE_SIZE + i * 64, False, TrafficClass.FILL)
@@ -58,19 +66,30 @@ class BlockingCopyManager(DataManager):
 
     def _fill_done(self, cfn: int, t: int, on_resume: Callable[[int], None]) -> None:
         self._busy_fills.discard(cfn)
+        if self._tel is not None:
+            self._tel.copy_end(("tdc", cfn), self.sim.now)
         on_resume(t)
 
     def writeback(self, cfn, pfn, on_offloaded) -> None:
         """Copy-out runs on a kernel thread; the daemon does not wait."""
         self.writebacks += 1
+        if self._tel is not None:
+            self._tel.copy_begin(
+                ("tdc-wb", cfn), "writeback", self.sim.now,
+                {"cfn": cfn, "pfn": pfn},
+            )
         arrivals = [
             self.hbm.access(cfn * PAGE_SIZE + i * 64, False, TrafficClass.WRITEBACK)
             for i in range(PAGE_SIZE // 64)
         ]
 
         def _drain() -> None:
-            for i in range(PAGE_SIZE // 64):
+            ends = [
                 self.ddr.access(pfn * PAGE_SIZE + i * 64, True, TrafficClass.WRITEBACK)
+                for i in range(PAGE_SIZE // 64)
+            ]
+            if self._tel is not None:
+                self._tel.copy_end(("tdc-wb", cfn), max(ends))
 
         self.sim.schedule_at(max(arrivals), _drain)
         on_offloaded()

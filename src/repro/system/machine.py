@@ -118,7 +118,8 @@ class Machine:
 
     # -- run ------------------------------------------------------------------
 
-    def run(self, max_events: Optional[int] = None, guard=None) -> MachineResult:
+    def run(self, max_events: Optional[int] = None, guard=None,
+            telemetry=None) -> MachineResult:
         """Drive the simulation to completion.
 
         ``guard`` opts into paranoid mode (off by default, so golden
@@ -128,15 +129,26 @@ class Machine:
         a forward-progress watchdog on livelock/deadlock, and writes a
         diagnostic bundle (replayable via ``python -m repro replay``)
         when it dies.
+
+        ``telemetry`` opts into observability (``True``, a
+        ``repro.telemetry.TelemetryConfig``, or a ``Telemetry``): a
+        cycle sampler plus a span tracer whose hooks are strictly
+        read-only, so observed runs stay bit-identical too.  When the
+        run dies under a guard, the crash bundle carries the last
+        telemetry window.
         """
         import gc
 
         from repro.guard import as_guard
+        from repro.telemetry import as_telemetry
 
         guard_obj = as_guard(guard)
+        tel_obj = as_telemetry(telemetry)
         if guard_obj is not None:
             guard_obj.install(self)
             self.sim.attach_guard(guard_obj)
+        if tel_obj is not None:
+            tel_obj.install(self)
         for core in self.cores:
             core.start()
         # The event loop allocates heavily (events, closures, cache
@@ -160,6 +172,8 @@ class Machine:
                 if guard_obj is not None:
                     guard_obj.last_exception = exc
                     guard_obj.events_at_failure = self.sim.events_processed
+                    if tel_obj is not None:
+                        guard_obj.telemetry_window = tel_obj.last_window()
                     bundle_path = guard_obj.write_bundle(exc)
                     if bundle_path is not None:
                         try:
@@ -172,7 +186,12 @@ class Machine:
                 gc.enable()
             if guard_obj is not None:
                 self.sim.attach_guard(None)
-        return self.result()
+            if tel_obj is not None:
+                tel_obj.uninstall()
+        result = self.result()
+        if tel_obj is not None:
+            tel_obj.finalize(self, result)
+        return result
 
     def _stall_report(self) -> str:
         """Queue head + per-component summaries for a stalled drain."""
@@ -184,6 +203,19 @@ class Machine:
         ]
         lines.extend(progress_report(self))
         return "\n".join(lines)
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat ``{component.stat: value}`` dump of every StatGroup.
+
+        The full raw counter set behind :meth:`result` -- what
+        ``repro run --metrics-out`` writes.  Reading flushes every
+        set_sync stat, which is idempotent by contract.
+        """
+        out: Dict[str, float] = {}
+        for component in self.sim.components:
+            for key, value in component.stats.as_dict().items():
+                out[f"{component.name}.{key}"] = value
+        return out
 
     def result(self) -> MachineResult:
         cfg = self.cfg

@@ -1,0 +1,75 @@
+"""Telemetry configuration.
+
+One frozen dataclass describes everything an observed run records: the
+sampling cadence, which trace categories are armed, the output path for
+the Perfetto timeline, and the caps that bound memory on long runs.
+Serializable both ways so campaign workers can reconstruct it from a
+payload dict (mirroring :class:`repro.guard.GuardConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
+
+# Trace categories (the installable hook groups).
+CAT_PAGE_COPY = "page_copy"
+CAT_OS = "os"
+CAT_MSHR = "mshr"
+CAT_DRAM = "dram"
+CAT_COUNTER = "counter"
+
+ALL_CATEGORIES: Tuple[str, ...] = (
+    CAT_PAGE_COPY, CAT_OS, CAT_MSHR, CAT_DRAM, CAT_COUNTER
+)
+
+# The dram category emits one span per 64 B burst; it is the only
+# category armed on a truly hot path, so campaign-wide telemetry
+# defaults leave it off (see repro.campaign.executor).
+DEFAULT_CAMPAIGN_CATEGORIES: Tuple[str, ...] = (
+    CAT_PAGE_COPY, CAT_OS, CAT_MSHR, CAT_COUNTER
+)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs of one observed run.
+
+    ``sample_every`` of 0 disables the time-series sampler; an empty
+    ``categories`` tuple disables the span tracer.  Both off leaves a
+    Telemetry object that still produces a (trivially empty) document,
+    so callers never special-case.
+    """
+
+    sample_every: int = 5000  # cycles between probe snapshots (0 = off)
+    timeline_path: Optional[str] = None  # write Perfetto JSON here
+    categories: Tuple[str, ...] = ALL_CATEGORIES
+    max_samples: int = 100_000  # sampler stops past this (counted)
+    max_trace_events: int = 500_000  # per-category drops counted past this
+    window: int = 32  # samples/events kept in the crash window
+
+    def __post_init__(self):
+        unknown = set(self.categories) - set(ALL_CATEGORIES)
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry categories {sorted(unknown)}; "
+                f"valid: {list(ALL_CATEGORIES)}"
+            )
+
+    def to_dict(self) -> dict:
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["categories"] = list(self.categories)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TelemetryConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"TelemetryConfig.from_dict: unknown keys {sorted(unknown)}"
+            )
+        kwargs = dict(d)
+        if "categories" in kwargs:
+            kwargs["categories"] = tuple(kwargs["categories"])
+        return cls(**kwargs)

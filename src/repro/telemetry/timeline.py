@@ -1,0 +1,253 @@
+"""Offline trace analysis: ``repro timeline`` and campaign summaries.
+
+``summarize_trace`` reduces one trace document to the numbers the paper
+argues about:
+
+* **copy latency percentiles** -- fill/writeback span durations,
+* **top stall sources** -- OS intervals aggregated by name, plus the
+  run's stall breakdown from ``otherData``,
+* **overlap fraction** -- the non-blocking claim as a single number:
+
+      overlap = 1 - sum_i |fill_i ∩ U| / sum_i |fill_i|
+
+  where ``U`` is the union of OS tag-miss stall intervals across cores.
+  A blocking design (TDC) executes the whole copy inside the stall, so
+  every fill is fully covered and the fraction is ~0; NOMAD's stall ends
+  at command acceptance, leaving almost the whole copy overlapped with
+  execution, so the fraction approaches 1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.config import CAT_OS, CAT_PAGE_COPY
+
+
+def load_trace(path: Union[str, Path]) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+# -- interval arithmetic ------------------------------------------------
+
+
+def merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Union of half-open intervals, sorted and coalesced."""
+    out: List[Tuple[int, int]] = []
+    for start, end in sorted(i for i in intervals if i[1] > i[0]):
+        if out and start <= out[-1][1]:
+            if end > out[-1][1]:
+                out[-1] = (out[-1][0], end)
+        else:
+            out.append((start, end))
+    return out
+
+
+def _covered(span: Tuple[int, int], union: List[Tuple[int, int]]) -> int:
+    """|span ∩ union| given a merged, sorted union."""
+    total = 0
+    lo, hi = span
+    for start, end in union:
+        if end <= lo:
+            continue
+        if start >= hi:
+            break
+        total += min(hi, end) - max(lo, start)
+    return total
+
+
+def overlap_fraction(
+    fills: List[Tuple[int, int]], os_spans: List[Tuple[int, int]]
+) -> Optional[float]:
+    """1 - (fill time covered by OS stalls) / (total fill time)."""
+    total = sum(end - start for start, end in fills if end > start)
+    if total <= 0:
+        return None
+    union = merge_intervals(os_spans)
+    covered = sum(_covered(span, union) for span in fills if span[1] > span[0])
+    return 1.0 - covered / total
+
+
+# -- span extraction ----------------------------------------------------
+
+
+def _async_spans(events: List[dict], cat: str) -> Dict[str, List[Tuple[int, int, str]]]:
+    """``{name: [(start, end, id)]}`` for balanced b/e pairs in *cat*."""
+    open_spans: Dict[str, List[Tuple[int, str]]] = {}
+    out: Dict[str, List[Tuple[int, int, str]]] = {}
+    for event in events:
+        if event.get("cat") != cat:
+            continue
+        ph = event.get("ph")
+        key = str(event.get("id"))
+        if ph == "b":
+            open_spans.setdefault(key, []).append(
+                (event["ts"], event.get("name", ""))
+            )
+        elif ph == "e":
+            stack = open_spans.get(key)
+            if not stack:
+                continue
+            start, name = stack.pop()
+            out.setdefault(name, []).append((start, event["ts"], key))
+    return out
+
+
+def _percentiles(durations: List[int]) -> dict:
+    if not durations:
+        return {"count": 0}
+    ordered = sorted(durations)
+    n = len(ordered)
+
+    def _pct(p: float) -> int:
+        idx = min(n - 1, max(0, int(p / 100.0 * n + 0.5) - 1))
+        return ordered[idx]
+
+    return {
+        "count": n,
+        "mean": sum(ordered) / n,
+        "p50": _pct(50),
+        "p95": _pct(95),
+        "p99": _pct(99),
+        "max": ordered[-1],
+    }
+
+
+# -- the summary --------------------------------------------------------
+
+
+def summarize_trace(doc: dict) -> dict:
+    """Reduce a trace document to the ``repro timeline`` summary."""
+    events = doc.get("traceEvents", [])
+    other = doc.get("otherData", {}) or {}
+    samples = doc.get("samples", []) or []
+
+    by_phase: Dict[str, int] = {}
+    by_category: Dict[str, int] = {}
+    for event in events:
+        ph = event.get("ph", "?")
+        by_phase[ph] = by_phase.get(ph, 0) + 1
+        cat = event.get("cat")
+        if cat:
+            by_category[cat] = by_category.get(cat, 0) + 1
+
+    copies = _async_spans(events, CAT_PAGE_COPY)
+    fill_spans = [(s, e) for s, e, _ in copies.get("fill", [])]
+    wb_spans = [(s, e) for s, e, _ in copies.get("writeback", [])]
+
+    os_stalls: Dict[str, dict] = {}
+    tag_miss_spans: List[Tuple[int, int]] = []
+    for event in events:
+        if event.get("cat") != CAT_OS or event.get("ph") != "X":
+            continue
+        name = event.get("name", "?")
+        ts, dur = event["ts"], event.get("dur", 0)
+        agg = os_stalls.setdefault(name, {"count": 0, "total_cycles": 0})
+        agg["count"] += 1
+        agg["total_cycles"] += dur
+        if name == "tag_miss":
+            tag_miss_spans.append((ts, ts + dur))
+    for agg in os_stalls.values():
+        agg["mean"] = agg["total_cycles"] / agg["count"]
+
+    sample_stats: dict = {"count": len(samples)}
+    if samples:
+        for key, fn, out_key in (
+            ("active_copies", max, "peak_active_copies"),
+            ("mshr_outstanding", max, "peak_mshr_outstanding"),
+            ("copy_buffers_in_use", max, "peak_copy_buffers_in_use"),
+            ("free_frames", min, "min_free_frames"),
+        ):
+            values = [s[key] for s in samples if key in s]
+            if values:
+                sample_stats[out_key] = fn(values)
+
+    return {
+        "scheme": other.get("scheme"),
+        "workload": other.get("workload"),
+        "runtime_cycles": other.get("runtime_cycles"),
+        "ipc": other.get("ipc"),
+        "events": len(events),
+        "by_phase": by_phase,
+        "by_category": by_category,
+        "copies": {
+            "fills": len(fill_spans),
+            "writebacks": len(wb_spans),
+            "fill_latency": _percentiles([e - s for s, e in fill_spans]),
+            "writeback_latency": _percentiles([e - s for s, e in wb_spans]),
+        },
+        "os_stalls": os_stalls,
+        "stall_breakdown": other.get("stall_breakdown"),
+        "overlap_fraction": overlap_fraction(fill_spans, tag_miss_spans),
+        "samples": sample_stats,
+        "events_dropped": other.get("events_dropped", {}),
+        "spans_truncated": other.get("spans_truncated", 0),
+    }
+
+
+def describe_summary(summary: dict) -> str:
+    """Human-readable rendering of :func:`summarize_trace`."""
+    lines = [
+        f"timeline: {summary.get('scheme')}/{summary.get('workload')} -- "
+        f"{summary['events']} trace events, "
+        f"{summary['samples'].get('count', 0)} samples"
+    ]
+    if summary.get("runtime_cycles"):
+        lines.append(
+            f"  runtime {summary['runtime_cycles']} cycles, "
+            f"ipc {summary.get('ipc', 0.0):.3f}"
+        )
+    copies = summary["copies"]
+    fl = copies["fill_latency"]
+    if fl.get("count"):
+        lines.append(
+            f"  page fills: {copies['fills']} "
+            f"(latency p50={fl['p50']} p95={fl['p95']} p99={fl['p99']} "
+            f"max={fl['max']} cycles)"
+        )
+    wl = copies["writeback_latency"]
+    if wl.get("count"):
+        lines.append(
+            f"  writebacks: {copies['writebacks']} "
+            f"(latency p50={wl['p50']} p95={wl['p95']})"
+        )
+    frac = summary.get("overlap_fraction")
+    if frac is not None:
+        lines.append(
+            f"  overlap fraction: {frac:.3f} "
+            f"(fill time overlapped with execution; blocking designs ~0)"
+        )
+    stalls = summary.get("os_stalls") or {}
+    if stalls:
+        lines.append("  top OS stall sources:")
+        ranked = sorted(
+            stalls.items(), key=lambda kv: -kv[1]["total_cycles"]
+        )
+        for name, agg in ranked[:5]:
+            lines.append(
+                f"    {name}: {agg['count']} x mean {agg['mean']:.0f} "
+                f"cycles = {agg['total_cycles']} total"
+            )
+    breakdown = summary.get("stall_breakdown")
+    if breakdown:
+        parts = ", ".join(
+            f"{k}={v:.3f}" for k, v in sorted(breakdown.items())
+        )
+        lines.append(f"  core stall breakdown: {parts}")
+    peaks = {
+        k: v for k, v in summary["samples"].items() if k != "count"
+    }
+    if peaks:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(peaks.items()))
+        lines.append(f"  sampled extremes: {parts}")
+    dropped = summary.get("events_dropped") or {}
+    if any(dropped.values()):
+        lines.append(f"  WARNING: events dropped past cap: {dropped}")
+    if summary.get("spans_truncated"):
+        lines.append(
+            f"  note: {summary['spans_truncated']} span(s) still open at "
+            f"end of run (truncated)"
+        )
+    return "\n".join(lines)

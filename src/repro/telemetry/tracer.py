@@ -1,0 +1,244 @@
+"""The span tracer: Chrome/Perfetto trace-event JSON.
+
+Components with an installed tracer call the ``*_begin``/``*_end``/
+``*_span`` methods below from one-branch hook sites (``if self._tel is
+not None``).  Every method is append-only and strictly read-only with
+respect to simulation state, which is what keeps traced runs
+bit-identical to untraced ones.
+
+Emitted document (the stable schema, version 1; validated by
+:mod:`repro.telemetry.trace_schema`):
+
+* JSON object with ``traceEvents`` (list), ``otherData`` (run metadata,
+  ``schema_version``), ``samples`` (the sampler's time series; Perfetto
+  ignores unknown top-level keys), ``displayTimeUnit``;
+* timestamps are **CPU cycles** (Perfetto renders them as microseconds;
+  ``otherData.cycles_per_second`` converts);
+* phases used: ``M`` metadata (process/thread names), ``b``/``e``/``n``
+  nestable async spans (page copies keyed by PCSHR generation, MSHR
+  hold times keyed by line key -- these overlap, so they need async
+  tracks), ``X`` complete events (OS stalls per core, eviction-daemon
+  batches, DRAM bank service), ``C`` counters (sampler series).
+
+Track layout: one ``pid`` per subsystem (``cores/os``, ``page_copies``,
+``mshr``, one per DRAM device, ``counters``), ``tid`` rows within it
+(cores, the daemon, ``chX.bankY``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.config import (
+    CAT_COUNTER,
+    CAT_DRAM,
+    CAT_MSHR,
+    CAT_OS,
+    CAT_PAGE_COPY,
+    TelemetryConfig,
+)
+
+SCHEMA_VERSION = 1
+
+PID_OS = 1  # cores + OS routines (X spans, one tid per core + daemon)
+PID_COPY = 2  # page-copy lifecycles (async spans)
+PID_MSHR = 3  # MSHR hold times (async spans)
+PID_COUNTER = 4  # sampler counter series
+PID_DRAM_BASE = 10  # one pid per DRAM device, assigned in order
+
+
+class Tracer:
+    """In-memory trace-event sink for one run."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None):
+        self.config = config if config is not None else TelemetryConfig()
+        self.events: List[dict] = []
+        self.dropped: Dict[str, int] = {}
+        self._next_id = 1
+        # Open async spans: key -> stack of (id, name) for copies,
+        # key -> (id, start) for MSHRs, label -> start for OS batches.
+        self._open_copies: Dict[object, List[Tuple[int, str]]] = {}
+        self._open_mshrs: Dict[int, int] = {}
+        self._open_os: Dict[object, Tuple[str, int]] = {}
+        self._dram_pids: Dict[str, int] = {}
+        self._dram_tids: Dict[Tuple[int, int, int], int] = {}
+        self._os_tids: Dict[str, int] = {}
+        # Span counts per (category, name) for summaries/bundles.
+        self.span_counts: Dict[str, int] = {}
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _emit(self, cat: str, event: dict) -> bool:
+        if len(self.events) >= self.config.max_trace_events:
+            self.dropped[cat] = self.dropped.get(cat, 0) + 1
+            return False
+        self.events.append(event)
+        return True
+
+    def _count(self, label: str) -> None:
+        self.span_counts[label] = self.span_counts.get(label, 0) + 1
+
+    def _os_tid(self, label: str) -> int:
+        tid = self._os_tids.get(label)
+        if tid is None:
+            tid = len(self._os_tids)
+            self._os_tids[label] = tid
+        return tid
+
+    # -- page-copy lifecycles (async spans) ----------------------------
+
+    def copy_begin(self, key, name: str, ts: int, args: dict) -> None:
+        """A page copy was accepted (PCSHR allocated / blocking copy
+        started).  ``key`` identifies the in-flight copy until its
+        matching :meth:`copy_end`; concurrent reuse nests (LIFO)."""
+        span_id = self._next_id
+        self._next_id += 1
+        if not self._emit(CAT_PAGE_COPY, {
+            "ph": "b", "cat": CAT_PAGE_COPY, "id": span_id, "name": name,
+            "pid": PID_COPY, "tid": 0, "ts": ts, "args": args,
+        }):
+            return
+        self._open_copies.setdefault(key, []).append((span_id, name))
+        self._count(f"copy.{name}")
+
+    def copy_instant(self, key, phase: str, ts: int) -> None:
+        """A sub-phase transition inside an open copy (launch / drain)."""
+        stack = self._open_copies.get(key)
+        if not stack:
+            return
+        span_id, name = stack[-1]
+        self._emit(CAT_PAGE_COPY, {
+            "ph": "n", "cat": CAT_PAGE_COPY, "id": span_id, "name": phase,
+            "pid": PID_COPY, "tid": 0, "ts": ts,
+        })
+
+    def copy_end(self, key, ts: int, args: Optional[dict] = None) -> None:
+        stack = self._open_copies.get(key)
+        if not stack:
+            return  # begin was dropped (event cap) or never traced
+        span_id, name = stack.pop()
+        if not stack:
+            del self._open_copies[key]
+        event = {
+            "ph": "e", "cat": CAT_PAGE_COPY, "id": span_id, "name": name,
+            "pid": PID_COPY, "tid": 0, "ts": ts,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)  # never drop an end: keep b/e balanced
+
+    # -- OS spans (complete events on per-core rows) -------------------
+
+    def os_span(self, tid_label: str, name: str, ts: int, dur: int,
+                args: Optional[dict] = None) -> None:
+        """One finished OS interval (tag-miss stall on a core row)."""
+        event = {
+            "ph": "X", "cat": CAT_OS, "name": name, "pid": PID_OS,
+            "tid": self._os_tid(tid_label), "ts": ts, "dur": dur,
+        }
+        if args:
+            event["args"] = args
+        if self._emit(CAT_OS, event):
+            self._count(f"os.{name}")
+
+    def os_begin(self, key, name: str, tid_label: str, ts: int) -> None:
+        """Open interval closed later by :meth:`os_end` (daemon batches)."""
+        self._open_os[key] = (name, ts, tid_label)
+
+    def os_end(self, key, ts: int, args: Optional[dict] = None) -> None:
+        opened = self._open_os.pop(key, None)
+        if opened is None:
+            return
+        name, t0, tid_label = opened
+        self.os_span(tid_label, name, t0, ts - t0, args)
+
+    # -- MSHR hold times (async spans) ---------------------------------
+
+    def mshr_begin(self, key: int, ts: int) -> None:
+        if key in self._open_mshrs:
+            return  # defensive: one entry per key at a time
+        span_id = self._next_id
+        self._next_id += 1
+        if self._emit(CAT_MSHR, {
+            "ph": "b", "cat": CAT_MSHR, "id": span_id, "name": "mshr",
+            "pid": PID_MSHR, "tid": 0, "ts": ts,
+            "args": {"key": key},
+        }):
+            self._open_mshrs[key] = span_id
+            self._count("mshr")
+
+    def mshr_end(self, key: int, ts: int) -> None:
+        span_id = self._open_mshrs.pop(key, None)
+        if span_id is None:
+            return
+        self.events.append({
+            "ph": "e", "cat": CAT_MSHR, "id": span_id, "name": "mshr",
+            "pid": PID_MSHR, "tid": 0, "ts": ts,
+        })
+
+    # -- DRAM bank service (complete events per bank row) --------------
+
+    def dram_span(self, device: str, channel: int, bank: int, ts: int,
+                  end: int, is_write: bool, traffic_class) -> None:
+        pid = self._dram_pids.get(device)
+        if pid is None:
+            pid = PID_DRAM_BASE + len(self._dram_pids)
+            self._dram_pids[device] = pid
+        tid_key = (pid, channel, bank)
+        tid = self._dram_tids.get(tid_key)
+        if tid is None:
+            tid = len([k for k in self._dram_tids if k[0] == pid])
+            self._dram_tids[tid_key] = tid
+        name = ("wr." if is_write else "rd.") + traffic_class.name
+        if self._emit(CAT_DRAM, {
+            "ph": "X", "cat": CAT_DRAM, "name": name, "pid": pid,
+            "tid": tid, "ts": ts, "dur": end - ts,
+        }):
+            self._count(f"dram.{device}")
+
+    # -- counters (from sampler snapshots, at finalize) ----------------
+
+    def counter(self, name: str, ts: int, values: Dict[str, float]) -> None:
+        self._emit(CAT_COUNTER, {
+            "ph": "C", "cat": CAT_COUNTER, "name": name, "pid": PID_COUNTER,
+            "tid": 0, "ts": ts, "args": dict(values),
+        })
+
+    # -- finalize ------------------------------------------------------
+
+    def close_open_spans(self, ts: int) -> int:
+        """Close anything still open (bounded runs / crashes); returns
+        the number of spans closed, each flagged ``truncated``."""
+        closed = 0
+        for key in list(self._open_copies):
+            while self._open_copies.get(key):
+                self.copy_end(key, ts, args={"truncated": True})
+                closed += 1
+        for key in list(self._open_mshrs):
+            self.mshr_end(key, ts)
+            closed += 1
+        for key in list(self._open_os):
+            self.os_end(key, ts, args={"truncated": True})
+            closed += 1
+        return closed
+
+    def metadata_events(self) -> List[dict]:
+        """Process/thread name metadata for every track in use."""
+        out: List[dict] = []
+
+        def _meta(name: str, pid: int, args: dict, tid: int = 0) -> None:
+            out.append({"ph": "M", "name": name, "pid": pid, "tid": tid,
+                        "args": args})
+
+        _meta("process_name", PID_OS, {"name": "cores / OS"})
+        for label, tid in self._os_tids.items():
+            _meta("thread_name", PID_OS, {"name": label}, tid=tid)
+        _meta("process_name", PID_COPY, {"name": "page copies"})
+        _meta("process_name", PID_MSHR, {"name": "LLC MSHRs"})
+        _meta("process_name", PID_COUNTER, {"name": "counters"})
+        for device, pid in self._dram_pids.items():
+            _meta("process_name", pid, {"name": device})
+        for (pid, channel, bank), tid in self._dram_tids.items():
+            _meta("thread_name", pid,
+                  {"name": f"ch{channel}.bank{bank}"}, tid=tid)
+        return out

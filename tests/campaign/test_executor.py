@@ -111,3 +111,51 @@ def test_run_matrix_parallel_matches_serial():
 def test_explicit_store_not_left_installed(tmp_path):
     run_campaign([BASE], jobs=1, store=ResultStore(tmp_path))
     assert runner.get_result_store() is None
+
+
+def test_telemetry_campaign_attaches_summaries_serial():
+    configs = [BASE.with_(scheme="tdc"), BASE.with_(scheme="nomad")]
+    campaign = run_campaign(configs, jobs=1, telemetry=True)
+    assert campaign.ok
+    for rec in campaign.records:
+        assert rec.telemetry is not None
+        assert "overlap_fraction" in rec.telemetry
+        assert rec.telemetry["scheme"] == rec.config.scheme
+        assert rec.to_dict()["telemetry"] == rec.telemetry
+    # The result itself stays telemetry-free (out-of-band transport).
+    assert "__telemetry__" not in campaign.records[0].result.to_dict()
+
+
+def test_telemetry_campaign_parallel_matches_serial_results():
+    configs = [BASE, BASE.with_(seed=2)]
+    serial = run_campaign(configs, jobs=1, telemetry=True)
+    clear_cache()
+    parallel = run_campaign(configs, jobs=2, telemetry=True)
+    for s_rec, p_rec in zip(serial.records, parallel.records):
+        assert s_rec.result == p_rec.result
+        assert p_rec.telemetry is not None
+        assert p_rec.telemetry["events"] == s_rec.telemetry["events"]
+
+
+def test_telemetry_runs_bypass_cache_lookup_but_prime_it():
+    first = run_campaign([BASE], jobs=1)
+    assert first.summary.completed == 1
+    # A cached result has no trace: the observed campaign re-simulates.
+    observed = run_campaign([BASE], jobs=1, telemetry=True)
+    assert observed.summary.completed == 1
+    assert observed.summary.cached == 0
+    assert observed.records[0].telemetry is not None
+    assert observed.records[0].result == first.records[0].result
+
+
+def test_progress_callable_sees_every_completion():
+    events = []
+    campaign = run_campaign(
+        [BASE, BASE.with_(seed=2)], jobs=1,
+        progress=lambda kind, info: events.append((kind, dict(info))),
+    )
+    assert campaign.ok
+    done = [info for kind, info in events if kind == "done"]
+    assert done
+    assert done[-1]["completed"] == 2
+    assert done[-1]["total"] == 2

@@ -47,3 +47,35 @@ def test_hung_worker_trips_watchdog():
     assert outcomes[2].status == OK and outcomes[2].value == 9
     assert outcomes[1].status == TIMEOUT
     assert "worker killed" in outcomes[1].error
+
+
+def test_heartbeat_reports_progress_without_completions():
+    events = []
+    outcomes = map_with_retries(
+        workers.sleep_briefly, [1, 2], jobs=2,
+        heartbeat=0.1, on_event=lambda kind, info: events.append((kind, info)),
+    )
+    assert [o.status for o in outcomes] == [OK, OK]
+    kinds = [kind for kind, _ in events]
+    # The workers sleep ~0.6 s, so several 0.1 s slices elapse first.
+    assert "heartbeat" in kinds
+    assert "done" in kinds
+    final_kind, final_info = events[-1]
+    assert final_kind == "done"
+    assert final_info["completed"] == 2
+    assert final_info["outstanding"] == 0
+    assert final_info["total"] == 2
+    # Heartbeats never claim more completions than have happened.
+    for kind, info in events:
+        if kind == "heartbeat":
+            assert info["completed"] < 2
+
+
+def test_heartbeat_does_not_mask_the_watchdog():
+    events = []
+    outcomes = map_with_retries(
+        workers.hang_if_negative, [-1], jobs=1, timeout=0.8, retries=0,
+        heartbeat=0.1, on_event=lambda kind, info: events.append(kind),
+    )
+    assert outcomes[0].status == TIMEOUT
+    assert "heartbeat" in events

@@ -40,6 +40,11 @@ def hang_if_negative(x):
     return x * x
 
 
+def sleep_briefly(x):
+    time.sleep(0.6)
+    return x * x
+
+
 def raise_value_error(x):
     raise ValueError(f"bad payload {x}")
 

@@ -76,6 +76,29 @@ def test_histogram_zero_sample():
     assert h.buckets[0] == 1
 
 
+def test_histogram_percentile_empty():
+    assert Histogram("h").percentile(95) == 0
+
+
+def test_histogram_percentile_single_bucket():
+    h = Histogram("h", bucket_width=10)
+    for _ in range(5):
+        h.add(12)
+    assert h.percentile(50) == 10
+    assert h.percentile(99) == 10
+
+
+def test_histogram_percentiles_are_monotonic():
+    h = Histogram("h", bucket_width=1)
+    for v in range(1, 1001):
+        h.add(v)
+    p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+    assert p50 <= p95 <= p99
+    assert 490 <= p50 <= 510
+    assert 940 <= p95 <= 960
+    assert 980 <= p99 <= 1000
+
+
 def test_bandwidth_meter_records_by_class():
     bw = BandwidthMeter("bw")
     bw.record(TrafficClass.DEMAND, 64)
@@ -127,6 +150,20 @@ def test_stat_group_as_dict():
     assert d["hits"] == 3
     assert d["lat.mean"] == 10
     assert d["lat.count"] == 1
+
+
+def test_stat_group_as_dict_histogram_percentiles():
+    g = StatGroup("g")
+    h = g.histogram("lat", bucket_width=1)
+    for v in range(1, 101):
+        h.add(v)
+    d = g.as_dict()
+    assert d["lat.count"] == 100
+    assert d["lat.mean"] == pytest.approx(50.5)
+    assert d["lat.p50"] == h.percentile(50)
+    assert d["lat.p95"] == h.percentile(95)
+    assert d["lat.p99"] == h.percentile(99)
+    assert d["lat.p50"] <= d["lat.p95"] <= d["lat.p99"]
 
 
 def test_stat_group_contains():

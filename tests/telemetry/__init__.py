@@ -1,0 +1,1 @@
+"""Telemetry: sampler, tracer, schema, timeline analysis, bit-identity."""

@@ -1,0 +1,76 @@
+"""validate_trace: the published trace-document contract."""
+
+from repro.telemetry.trace_schema import validate_trace
+
+
+def _doc(events=(), **other):
+    data = {"schema_version": 1}
+    data.update(other)
+    return {"traceEvents": list(events), "otherData": data, "samples": []}
+
+
+def test_empty_document_is_valid():
+    assert validate_trace(_doc()) == []
+
+
+def test_non_object_document():
+    problems = validate_trace([1, 2, 3])
+    assert problems and "JSON object" in problems[0]
+
+
+def test_missing_trace_events():
+    assert validate_trace({"otherData": {}}) == [
+        "missing or non-list 'traceEvents'"
+    ]
+
+
+def test_missing_schema_version():
+    (problem,) = validate_trace({"traceEvents": [], "otherData": {}})
+    assert "schema_version" in problem
+
+
+def test_unknown_phase_rejected():
+    (problem,) = validate_trace(
+        _doc([{"ph": "Z", "name": "x", "pid": 1, "ts": 0}])
+    )
+    assert "'Z'" in problem
+
+
+def test_complete_event_needs_duration():
+    bad = {"ph": "X", "name": "x", "pid": 1, "ts": 0, "dur": -5}
+    (problem,) = validate_trace(_doc([bad]))
+    assert "non-negative 'dur'" in problem
+
+
+def test_counter_args_must_be_numeric():
+    bad = {"ph": "C", "name": "c", "pid": 4, "ts": 0, "args": {"v": "high"}}
+    (problem,) = validate_trace(_doc([bad]))
+    assert "names to numbers" in problem
+
+
+def test_unbalanced_async_span_detected():
+    events = [
+        {"ph": "b", "cat": "page_copy", "id": 1, "name": "fill",
+         "pid": 2, "ts": 0},
+    ]
+    (problem,) = validate_trace(_doc(events))
+    assert "unbalanced" in problem
+
+
+def test_balanced_async_span_passes():
+    events = [
+        {"ph": "b", "cat": "page_copy", "id": 1, "name": "fill",
+         "pid": 2, "ts": 0},
+        {"ph": "n", "cat": "page_copy", "id": 1, "name": "launch",
+         "pid": 2, "ts": 5},
+        {"ph": "e", "cat": "page_copy", "id": 1, "name": "fill",
+         "pid": 2, "ts": 9},
+    ]
+    assert validate_trace(_doc(events)) == []
+
+
+def test_problem_cap_suppresses_tail():
+    events = [{"ph": "Z", "name": "x", "pid": 1, "ts": 0}] * 50
+    problems = validate_trace(_doc(events), max_problems=5)
+    assert problems[-1].startswith("...")
+    assert len(problems) <= 7

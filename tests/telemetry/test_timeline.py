@@ -1,0 +1,107 @@
+"""Offline trace analysis: interval math, summaries, rendering."""
+
+import pytest
+
+from repro.telemetry.timeline import (
+    describe_summary,
+    merge_intervals,
+    overlap_fraction,
+    summarize_trace,
+)
+
+
+def test_merge_intervals_coalesces_and_sorts():
+    assert merge_intervals([(5, 9), (0, 3), (2, 6), (20, 21)]) == [
+        (0, 9), (20, 21)
+    ]
+
+
+def test_merge_intervals_drops_empty():
+    assert merge_intervals([(4, 4), (9, 2)]) == []
+
+
+def test_overlap_fraction_none_without_fills():
+    assert overlap_fraction([], [(0, 10)]) is None
+
+
+def test_overlap_fraction_fully_covered_is_zero():
+    # The blocking shape: every fill lies inside an OS stall.
+    assert overlap_fraction([(2, 8)], [(0, 10)]) == pytest.approx(0.0)
+
+
+def test_overlap_fraction_uncovered_is_one():
+    assert overlap_fraction([(0, 10)], [(50, 60)]) == pytest.approx(1.0)
+
+
+def test_overlap_fraction_partial_and_split_coverage():
+    # 10-cycle fill covered on [0,2) and [6,8) -> 4/10 covered.
+    frac = overlap_fraction([(0, 10)], [(0, 2), (6, 8), (6, 7)])
+    assert frac == pytest.approx(0.6)
+
+
+def _synthetic_doc():
+    events = [
+        # Two fills: 100 cycles each; the first fully inside the stall.
+        {"ph": "b", "cat": "page_copy", "id": 1, "name": "fill",
+         "pid": 2, "tid": 0, "ts": 0},
+        {"ph": "e", "cat": "page_copy", "id": 1, "name": "fill",
+         "pid": 2, "tid": 0, "ts": 100},
+        {"ph": "b", "cat": "page_copy", "id": 2, "name": "fill",
+         "pid": 2, "tid": 0, "ts": 1000},
+        {"ph": "e", "cat": "page_copy", "id": 2, "name": "fill",
+         "pid": 2, "tid": 0, "ts": 1100},
+        # One writeback.
+        {"ph": "b", "cat": "page_copy", "id": 3, "name": "writeback",
+         "pid": 2, "tid": 0, "ts": 50},
+        {"ph": "e", "cat": "page_copy", "id": 3, "name": "writeback",
+         "pid": 2, "tid": 0, "ts": 90},
+        # OS stalls: one covering fill 1, one elsewhere.
+        {"ph": "X", "cat": "os", "name": "tag_miss", "pid": 1, "tid": 0,
+         "ts": 0, "dur": 100},
+        {"ph": "X", "cat": "os", "name": "eviction_batch", "pid": 1,
+         "tid": 1, "ts": 400, "dur": 50},
+    ]
+    return {
+        "traceEvents": events,
+        "otherData": {
+            "schema_version": 1, "scheme": "nomad", "workload": "mcf",
+            "runtime_cycles": 2000, "ipc": 1.5,
+            "stall_breakdown": {"os": 0.25},
+        },
+        "samples": [
+            {"t": 500, "active_copies": 2, "free_frames": 30},
+            {"t": 1000, "active_copies": 5, "free_frames": 12},
+        ],
+    }
+
+
+def test_summarize_trace_synthetic():
+    summary = summarize_trace(_synthetic_doc())
+    assert summary["scheme"] == "nomad"
+    assert summary["copies"]["fills"] == 2
+    assert summary["copies"]["writebacks"] == 1
+    assert summary["copies"]["fill_latency"]["p50"] == 100
+    # Fill 1 fully covered, fill 2 not at all -> half the fill time
+    # overlapped with execution.
+    assert summary["overlap_fraction"] == pytest.approx(0.5)
+    assert summary["os_stalls"]["tag_miss"]["count"] == 1
+    assert summary["os_stalls"]["eviction_batch"]["total_cycles"] == 50
+    assert summary["samples"]["peak_active_copies"] == 5
+    assert summary["samples"]["min_free_frames"] == 12
+
+
+def test_describe_summary_mentions_the_headline_numbers():
+    text = describe_summary(summarize_trace(_synthetic_doc()))
+    assert "nomad/mcf" in text
+    assert "overlap fraction: 0.500" in text
+    assert "tag_miss" in text
+    assert "page fills: 2" in text
+
+
+def test_describe_summary_warns_on_drops_and_truncation():
+    doc = _synthetic_doc()
+    doc["otherData"]["events_dropped"] = {"dram": 12}
+    doc["otherData"]["spans_truncated"] = 3
+    text = describe_summary(summarize_trace(doc))
+    assert "dropped" in text
+    assert "3 span(s) still open" in text

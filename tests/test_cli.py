@@ -137,6 +137,78 @@ def test_sweep_no_store(capsys):
     assert "result store" not in capsys.readouterr().out
 
 
+def test_run_timeline_and_metrics_out(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.json"
+    rc = main(["run", "--scheme", "nomad", "--workload", "sop",
+               "--ops", "300", "--cores", "2", "--dc-mb", "8",
+               "--timeline", str(trace), "--sample-every", "1000",
+               "--metrics-out", str(metrics)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "timeline written to" in out and "metrics written to" in out
+
+    doc = json.loads(trace.read_text())
+    from repro.telemetry.trace_schema import validate_trace
+
+    assert validate_trace(doc) == []
+    assert doc["otherData"]["scheme"] == "nomad"
+    assert doc["samples"]
+
+    flat = json.loads(metrics.read_text())
+    assert flat  # every component's StatGroup, flattened
+    assert any(key.endswith(".p95") for key in flat)
+    assert all(not isinstance(v, (dict, list)) for v in flat.values())
+
+
+def test_run_json_carries_telemetry_summary(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    rc = main(["run", "--scheme", "nomad", "--workload", "sop",
+               "--ops", "300", "--cores", "2", "--dc-mb", "8",
+               "--timeline", str(trace), "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["telemetry"]["copies"]["fills"] >= 0
+    assert payload["telemetry"]["events"] > 0
+
+
+def test_timeline_subcommand_text_and_json(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["run", "--scheme", "nomad", "--workload", "sop",
+                 "--ops", "300", "--cores", "2", "--dc-mb", "8",
+                 "--timeline", str(trace)]) == 0
+    capsys.readouterr()
+
+    assert main(["timeline", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "timeline: nomad/sop" in out
+
+    assert main(["timeline", str(trace), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["scheme"] == "nomad"
+    assert summary["events"] > 0
+
+
+def test_timeline_subcommand_rejects_missing_and_invalid(tmp_path, capsys):
+    rc = main(["timeline", str(tmp_path / "nope.json")])
+    assert rc == 2
+    capsys.readouterr()
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": "not-a-list"}))
+    rc = main(["timeline", str(bad)])
+    assert rc == 2
+    assert "traceEvents" in capsys.readouterr().err
+
+
+def test_sweep_telemetry_adds_overlap_column(capsys):
+    rc = main(["sweep", "--schemes", "tdc,nomad", "--workloads", "sop",
+               "--ops", "300", "--cores", "2", "--dc-mb", "8",
+               "--no-store", "--telemetry", "--no-progress"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "overlap" in out
+
+
 def test_sweep_rejects_unknown_names(capsys):
     rc = main(["sweep", "--schemes", "warpdrive", "--workloads", "sop",
                "--no-store"])
