@@ -57,4 +57,9 @@ def _campaign_store():
     yield store
     set_result_store(prev)
     print()
-    print(f"campaign caches: memo {cache_stats()}, store {store.stats()}")
+    caches = cache_stats()
+    print(
+        f"campaign caches: memo {caches['memo']}, "
+        f"snapshot {caches['snapshot']}, trace {caches['trace']}, "
+        f"store {store.stats()}"
+    )

@@ -96,6 +96,10 @@ class CampaignSummary:
     elapsed_s: float = 0.0
     memo: Dict[str, int] = field(default_factory=dict)
     store: Dict[str, object] = field(default_factory=dict)
+    # Machine-snapshot and trace-cache counters: the in-process view
+    # plus, for pool campaigns, the summed per-batch worker deltas.
+    snapshot: Dict[str, int] = field(default_factory=dict)
+    trace: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -107,6 +111,8 @@ class CampaignSummary:
             "elapsed_s": self.elapsed_s,
             "memo": dict(self.memo),
             "store": dict(self.store),
+            "snapshot": dict(self.snapshot),
+            "trace": dict(self.trace),
         }
 
     def describe(self) -> str:
@@ -123,6 +129,20 @@ class CampaignSummary:
                 f"{self.memo.get('misses', 0)} misses "
                 f"({self.memo.get('size', 0)}/{self.memo.get('maxsize', 0)} entries)"
             )
+        if self.snapshot:
+            parts.append(
+                f"snapshot cache: {self.snapshot.get('hits', 0)} forks / "
+                f"{self.snapshot.get('misses', 0)} misses "
+                f"({self.snapshot.get('stores', 0)} images stored)"
+            )
+        if self.trace:
+            line = (
+                f"trace cache: {self.trace.get('hits', 0)} hits / "
+                f"{self.trace.get('misses', 0)} misses"
+            )
+            if self.trace.get("disk_hits", 0) or self.trace.get("disk_dir"):
+                line += f" / {self.trace.get('disk_hits', 0)} disk hits"
+            parts.append(line)
         if self.store:
             parts.append(
                 f"result store: {self.store.get('hits', 0)} hits / "
@@ -227,6 +247,35 @@ def _failed_record(index: int, cfg: RunConfig, status: str,
 # Pool worker
 # ---------------------------------------------------------------------------
 
+_CACHE_COUNT_KEYS = {
+    "snapshot": ("hits", "misses", "stores", "evictions"),
+    "trace": ("hits", "misses", "disk_hits", "disk_writes", "evictions"),
+}
+
+
+def _cache_counts() -> Dict[str, Dict[str, int]]:
+    """The amortization-cache counters a worker reports deltas of."""
+    caches = runner.cache_stats()
+    return {
+        section: {k: int(caches[section].get(k, 0)) for k in keys}
+        for section, keys in _CACHE_COUNT_KEYS.items()
+    }
+
+
+def _cache_delta(before, after) -> Dict[str, Dict[str, int]]:
+    return {
+        section: {k: after[section][k] - before[section][k] for k in counts}
+        for section, counts in before.items()
+    }
+
+
+def _merge_counts(dst: Dict[str, Dict[str, int]], src) -> None:
+    for section, counts in (src or {}).items():
+        bucket = dst.setdefault(section, {})
+        for k, v in counts.items():
+            bucket[k] = bucket.get(k, 0) + v
+
+
 def _simulate_payload(payload: dict) -> dict:
     """Pool worker: dict in, dict out (keeps transport JSON-clean).
 
@@ -237,8 +286,40 @@ def _simulate_payload(payload: dict) -> dict:
     key (a serialized TelemetryConfig) arms observability; the trace
     summary rides back under the same out-of-band key, keeping
     ``MachineResult`` itself untouched.
+
+    A ``__batch__`` key carries a list of config payloads that share a
+    machine-snapshot key: running them sequentially in one worker means
+    the first run builds+snapshots and the rest fork from this process's
+    snapshot cache.  Per-item exceptions come back as ``__failure__``
+    entries so one bad config cannot poison its batch siblings, and the
+    worker reports its amortization-cache counter deltas alongside.
+    An ``__amortize__`` key (e.g. ``{"trace_dir": ...}``) points this
+    worker at the shared on-disk trace cache; it is idempotent, so every
+    payload of a campaign carries it.
     """
     payload = dict(payload)
+    amortize = payload.pop("__amortize__", None)
+    if amortize and amortize.get("trace_dir"):
+        from repro.workloads.synthetic import configure_trace_cache
+
+        configure_trace_cache(disk_dir=amortize["trace_dir"])
+    batch = payload.pop("__batch__", None)
+    if batch is not None:
+        before = _cache_counts()
+        results = []
+        for item in batch:
+            try:
+                results.append(_simulate_one(dict(item)))
+            except Exception as exc:
+                results.append({"__failure__": _failure_info(exc)})
+        return {
+            "__batch__": results,
+            "__cache_stats__": _cache_delta(before, _cache_counts()),
+        }
+    return _simulate_one(payload)
+
+
+def _simulate_one(payload: dict) -> dict:
     guard_dict = payload.pop("__guard__", None)
     tel_dict = payload.pop("__telemetry__", None)
     cfg = RunConfig.from_dict(payload)
@@ -327,6 +408,42 @@ def _record_pool_failure(index: int, cfg: RunConfig, outcome, store,
         _quarantine(store, cfg, info)
         return _failed_record(index, cfg, QUARANTINED, info, attempts)
     return _failed_record(index, cfg, FAILED, info, attempts)
+
+
+def _plan_batches(pending: List[int], configs: Sequence[RunConfig],
+                  jobs: int, batching: bool) -> List[List[int]]:
+    """Partition pending grid indices into worker tasks.
+
+    Runs sharing a machine-snapshot key are grouped (the first run of a
+    group builds+snapshots in its worker, the rest fork), but each group
+    is chunked so a sweep with few distinct keys still spreads across
+    all ``jobs`` workers.  Ineligible configs stay singleton tasks.
+    Groups are submitted in grid order of their first member, and
+    records are merged by index, so batching never perturbs output
+    order.
+    """
+    if not batching:
+        return [[i] for i in pending]
+    from repro.snapshot import snapshot_eligible, snapshot_key
+
+    by_key: Dict[str, List[int]] = {}
+    singles: List[int] = []
+    for i in pending:
+        cfg = configs[i]
+        if snapshot_eligible(cfg):
+            by_key.setdefault(snapshot_key(cfg), []).append(i)
+        else:
+            singles.append(i)
+    # ceil(pending/jobs): with this chunk bound even a single-key sweep
+    # produces >= jobs tasks.
+    max_chunk = max(2, -(-len(pending) // max(1, jobs)))
+    groups: List[List[int]] = []
+    for members in by_key.values():
+        for off in range(0, len(members), max_chunk):
+            groups.append(members[off:off + max_chunk])
+    groups.extend([i] for i in singles)
+    groups.sort(key=lambda g: g[0])
+    return groups
 
 
 # ---------------------------------------------------------------------------
@@ -419,6 +536,8 @@ def run_campaign(
 
     effective_store = store if store is not None else runner.get_result_store()
     prev_store = runner.set_result_store(effective_store)
+    # Worker-reported amortization-cache counter deltas (pool batches).
+    pool_caches: Dict[str, Dict[str, int]] = {}
     try:
         pending: List[int] = []
         for i, cfg in enumerate(configs):
@@ -468,6 +587,18 @@ def run_campaign(
             guard_dict = guard_cfg.to_dict() if guard_cfg is not None else None
             tel_dict = tel_cfg.to_dict() if tel_cfg is not None else None
 
+            # Shared on-disk trace cache: piggyback on the persistent
+            # store's directory so workers stop regenerating identical
+            # traces (and later campaigns reuse them too).
+            amortize_dict = None
+            store_root = getattr(effective_store, "root", None)
+            if guard_cfg is None and tel_cfg is None and store_root:
+                import os as _os
+
+                amortize_dict = {
+                    "trace_dir": _os.path.join(str(store_root), "traces")
+                }
+
             def _payload(i: int) -> dict:
                 payload = configs[i].to_dict()
                 if guard_dict is not None:
@@ -476,14 +607,66 @@ def run_campaign(
                     payload["__telemetry__"] = tel_dict
                 return payload
 
+            # Group runs that share a machine-snapshot key into batches
+            # so they land on the same worker and fork its snapshot
+            # instead of rebuilding.  Only plain campaigns batch:
+            # guarded/observed runs keep per-run payloads (their
+            # failure confirmation pass needs task granularity).
+            groups = _plan_batches(
+                pending, configs, jobs,
+                batching=guard_cfg is None and tel_cfg is None,
+            )
+
+            def _group_payload(group: List[int]) -> dict:
+                if len(group) == 1:
+                    payload = _payload(group[0])
+                else:
+                    payload = {"__batch__": [_payload(i) for i in group]}
+                if amortize_dict is not None:
+                    payload["__amortize__"] = amortize_dict
+                return payload
+
+            # The stall watchdog sees one completion per *task*; a batch
+            # is one task doing len(batch) runs, so scale its budget.
+            max_batch = max(len(g) for g in groups)
+            pool_timeout = timeout * max_batch if timeout is not None else None
             heartbeat = 2.0 if on_event is not None else None
             outcomes = _pool.map_with_retries(
-                _simulate_payload, [_payload(i) for i in pending],
-                jobs=jobs, timeout=timeout, retries=retries,
+                _simulate_payload, [_group_payload(g) for g in groups],
+                jobs=jobs, timeout=pool_timeout, retries=retries,
                 heartbeat=heartbeat, on_event=on_event,
             )
             confirm: List[Tuple[int, Dict[str, str], int]] = []
-            for outcome, i in zip(outcomes, pending):
+            for outcome, group in zip(outcomes, groups):
+                if len(group) > 1:
+                    if not outcome.ok:
+                        for i in group:
+                            records[i] = _record_pool_failure(
+                                i, configs[i], outcome, effective_store
+                            )
+                        continue
+                    value = outcome.value
+                    _merge_counts(
+                        pool_caches, value.get("__cache_stats__")
+                    )
+                    for i, item in zip(group, value["__batch__"]):
+                        cfg = configs[i]
+                        if isinstance(item, dict) and "__failure__" in item:
+                            records[i] = _failed_record(
+                                i, cfg, FAILED, item["__failure__"],
+                                attempts=outcome.attempts,
+                            )
+                            continue
+                        tel_summary = item.pop("__telemetry__", None)
+                        result = MachineResult.from_dict(item)
+                        runner.prime(cfg, result)
+                        records[i] = RunRecord(
+                            i, cfg, COMPLETED, result,
+                            source="simulated", attempts=outcome.attempts,
+                            telemetry=tel_summary,
+                        )
+                    continue
+                i = group[0]
                 cfg = configs[i]
                 if not outcome.ok:
                     records[i] = _record_pool_failure(
@@ -546,6 +729,12 @@ def run_campaign(
         runner.set_result_store(prev_store)
 
     done = [r for r in records if r is not None]
+    caches = runner.cache_stats()
+    snapshot_counts = dict(caches["snapshot"])
+    trace_counts = dict(caches["trace"])
+    _merge_counts(
+        {"snapshot": snapshot_counts, "trace": trace_counts}, pool_caches
+    )
     summary = CampaignSummary(
         total=len(done),
         completed=sum(r.status == COMPLETED for r in done),
@@ -553,7 +742,9 @@ def run_campaign(
         failed=sum(r.status in (FAILED, TIMEOUT) for r in done),
         quarantined=sum(r.status == QUARANTINED for r in done),
         elapsed_s=time.monotonic() - t0,
-        memo=runner.cache_stats(),
+        memo=caches["memo"],
+        snapshot=snapshot_counts,
+        trace=trace_counts,
         store=effective_store.stats() if effective_store is not None else {},
     )
     return CampaignResult(done, summary)

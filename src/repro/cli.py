@@ -290,7 +290,8 @@ def cmd_table1(args) -> int:
 def cmd_bench(args) -> int:
     from repro.harness import bench
 
-    measured = bench.run_bench(quick=args.quick, profile=not args.no_profile)
+    measured = bench.run_bench(quick=args.quick, profile=not args.no_profile,
+                               sweep=args.sweep)
 
     if args.update:
         bench.update_report(args.file, measured)
@@ -298,14 +299,14 @@ def cmd_bench(args) -> int:
 
     problems: List[str] = []
     committed = None
-    if args.check or args.update:
-        try:
-            committed = bench.load_report(args.file)
-        except FileNotFoundError:
+    try:
+        committed = bench.load_report(args.file)
+    except FileNotFoundError:
+        if args.check or args.update:
             print(f"error: no committed report at {args.file}", file=sys.stderr)
             return 2
-        if args.check:
-            problems = bench.check_regression(committed, measured)
+    if args.check:
+        problems = bench.check_regression(committed, measured)
 
     if args.json:
         payload = {"measured": measured}
@@ -315,12 +316,16 @@ def cmd_bench(args) -> int:
     else:
         rows = []
         for name, entry in measured["scenarios"].items():
-            row = {
-                "scenario": name,
-                "runs_per_sec": entry["runs_per_sec"],
-                "events_per_sec": entry["events_per_sec"],
-                "normalized": entry["normalized"],
-            }
+            row = {"scenario": name, "runs_per_sec": entry["runs_per_sec"]}
+            if args.sweep:
+                snap_total = entry["snapshot_forks"] + entry["snapshot_builds"]
+                row["snapshot_forks"] = (
+                    f"{entry['snapshot_forks']}/{snap_total} "
+                    f"({entry['snapshot_hit_rate']:.0%})"
+                )
+            else:
+                row["events_per_sec"] = entry["events_per_sec"]
+            row["normalized"] = entry["normalized"]
             if committed is not None:
                 block = committed.get("scenarios", {}).get(name, {})
                 base = block.get("baseline")
@@ -329,8 +334,11 @@ def cmd_bench(args) -> int:
                         entry["normalized"] / base["normalized"]
                     )
             rows.append(row)
-        print(format_table(rows, title="engine benchmark (normalized = "
-                                       "runs/sec per normalizer op/sec)"))
+        title = ("sweep benchmark (campaign runs/sec; baseline = snapshot "
+                 "forking off)" if args.sweep else
+                 "engine benchmark (normalized = runs/sec per normalizer "
+                 "op/sec)")
+        print(format_table(rows, title=title))
         for p in problems:
             print(p)
 
@@ -500,6 +508,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "entries (baselines stay frozen)")
     p_bench.add_argument("--no-profile", action="store_true",
                          help="skip the cProfile phase breakdown")
+    p_bench.add_argument("--sweep", action="store_true",
+                         help="measure campaign sweep throughput (machine-"
+                              "snapshot amortization) instead of the engine "
+                              "scenarios")
     p_bench.add_argument("--json", action="store_true",
                          help="structured JSON output instead of tables")
     p_bench.set_defaults(func=cmd_bench)

@@ -189,6 +189,15 @@ class StatGroup:
         """Install ``hook()`` to flush owner-side counters before reads."""
         self._sync = hook
 
+    def sync(self) -> None:
+        """Flush owner-side counters now (idempotent by contract).
+
+        Snapshots and crash bundles call this explicitly so the state
+        they capture carries exact totals, not the stale StatGroup view.
+        """
+        if self._sync is not None:
+            self._sync()
+
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, Counter)
 

@@ -57,19 +57,7 @@ class Core(Component):
         self.trace = iter(trace)
         self._next_op = self.trace.__next__  # bound once; called per op
         self.on_finish = on_finish
-        # Bind the two per-op scheme calls once.  Real schemes expose
-        # .tlbs / .hierarchy; test doubles may only implement the
-        # tlb_lookup / hierarchy_access methods, so fall back to those.
-        tlbs = getattr(scheme, "tlbs", None)
-        if tlbs is not None:
-            self._tlb = tlbs[core_id]
-            self._tlb_lookup = tlbs[core_id].lookup
-        else:
-            self._tlb = None
-            self._tlb_lookup = lambda vpn: scheme.tlb_lookup(core_id, vpn)
-        hier = getattr(scheme, "hierarchy", None)
-        self._hier_access = hier.access if hier is not None else scheme.hierarchy_access
-        self._translate = scheme.translate_addr
+        self._bind_fastpaths()
 
         # Dispatch-clock state (may run ahead of sim.now).
         self.dispatch_cycles = 0
@@ -104,6 +92,48 @@ class Core(Component):
         self.tlb_stall_cycles = 0
         self.tlb_misses = 0
         self.tag_miss_count = 0
+
+    def _bind_fastpaths(self) -> None:
+        """Bind the two per-op scheme calls once.  Real schemes expose
+        .tlbs / .hierarchy; test doubles may only implement the
+        tlb_lookup / hierarchy_access methods, so fall back to those.
+        Re-run after unpickling (see ``__setstate__``)."""
+        scheme = self.scheme
+        core_id = self.core_id
+        tlbs = getattr(scheme, "tlbs", None)
+        if tlbs is not None:
+            self._tlb = tlbs[core_id]
+            self._tlb_lookup = tlbs[core_id].lookup
+        else:
+            self._tlb = None
+            self._tlb_lookup = lambda vpn: scheme.tlb_lookup(core_id, vpn)
+        hier = getattr(scheme, "hierarchy", None)
+        self._hier_access = hier.access if hier is not None else scheme.hierarchy_access
+        self._translate = scheme.translate_addr
+
+    # Attributes derived from the trace or rebindable from the scheme;
+    # dropped from snapshots (iterators and lambdas do not pickle, and
+    # the trace itself is re-materialized from (spec, seed) on restore).
+    _TRANSIENT = (
+        "trace", "_next_op", "_tlb", "_tlb_lookup", "_hier_access", "_translate",
+    )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for name in self._TRANSIENT:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.trace = None
+        self._next_op = None
+        self._bind_fastpaths()
+
+    def attach_trace(self, trace: Iterator) -> None:
+        """Give a restored core its (re-materialized) trace back."""
+        self.trace = iter(trace)
+        self._next_op = self.trace.__next__
 
     # -- public API -------------------------------------------------------
 

@@ -4,6 +4,8 @@ from repro.harness.runner import (
     RunConfig,
     cache_stats,
     clear_cache,
+    clear_snapshot_cache,
+    configure_snapshots,
     get_result_store,
     run_matrix,
     run_workload,
@@ -29,6 +31,8 @@ __all__ = [
     "RunConfig",
     "cache_stats",
     "clear_cache",
+    "clear_snapshot_cache",
+    "configure_snapshots",
     "get_result_store",
     "set_result_store",
     "experiment_fig02",

@@ -12,6 +12,13 @@ it.  Comparing ``normalized`` values cancels out how fast the host
 happens to be, which is what lets CI compare against numbers committed
 from a different machine (``python -m repro bench --check``).
 
+A second family of scenarios (``--sweep``) benchmarks the *campaign*
+layer instead of the bare engine: a seeds-axis scheme grid is run
+through ``run_campaign`` end-to-end, which is the path machine-snapshot
+forking amortizes.  Its frozen ``baseline`` entries were captured with
+snapshot forking disabled (``configure_snapshots(0)``) -- the
+rebuild-every-run behavior that predates the snapshot cache.
+
 Results are stored in ``BENCH_engine.json`` at the repo root; the
 ``baseline`` entries in that file are frozen pre-optimization
 measurements and must not be regenerated (``--update`` only rewrites the
@@ -38,6 +45,27 @@ BENCH_SEED = 1
 SCENARIOS: Dict[str, Tuple[int, int, int, int]] = {
     "full": (6000, 4, 64, 3),
     "quick": (1500, 2, 16, 2),
+}
+
+# -- sweep (campaign amortization) scenarios ----------------------------------
+#
+# Where the engine scenarios above time the bare event loop, the sweep
+# scenarios time ``run_campaign`` end-to-end over a seeds-axis grid --
+# the shape every figure reproduction sweeps -- once with machine
+# snapshots enabled (the amortized path) and, for the frozen baseline
+# entries, once with ``configure_snapshots(0)`` (the rebuild-every-run
+# pre-snapshot path).  Schemes with DRAM-cache metadata are the ones
+# whose builds amortize; ``baseline``/``ideal`` are fork-unprofitable
+# by design (see repro.snapshot) and excluded.
+SWEEP_SCHEMES = ("tid", "tdc", "nomad")
+
+# (ops per core, cores, DC megabytes, number of seeds).  The seeds
+# axis is what amortizes: one build+snapshot per scheme serves every
+# seed, so more seeds move the campaign closer to the marginal
+# fork+run cost.
+SWEEP_SCENARIOS: Dict[str, Tuple[int, int, int, int]] = {
+    "sweep": (400, 2, 48, 16),
+    "sweep_quick": (300, 2, 32, 12),
 }
 
 # CI gate: fail when normalized throughput drops more than this fraction
@@ -143,10 +171,107 @@ def run_scenario(name: str) -> Dict:
     }
 
 
-def run_bench(quick: bool = False, profile: bool = True) -> Dict:
-    """Measure the selected scenarios; returns the report dict."""
-    names = ["quick"] if quick else ["full", "quick"]
+def _sweep_configs(name: str) -> list:
+    from repro.harness.runner import RunConfig
+
+    ops, cores, dc_mb, seeds = SWEEP_SCENARIOS[name]
+    return [
+        RunConfig(scheme=scheme, workload=BENCH_WORKLOAD, num_mem_ops=ops,
+                  num_cores=cores, dc_megabytes=dc_mb, seed=seed)
+        for scheme in SWEEP_SCHEMES
+        for seed in range(1, seeds + 1)
+    ]
+
+
+def run_sweep_scenario(name: str, amortize: bool = True,
+                       reps: int = 2) -> Dict:
+    """Campaign throughput over a seeds-axis scheme grid.
+
+    ``amortize=False`` measures the rebuild-every-run path (snapshot
+    forking disabled) -- that is how the frozen ``baseline`` sweep
+    entries in BENCH_engine.json were captured.  Both modes start from
+    cold caches and measure the whole campaign wall clock, so trace
+    generation and the event loop are identical on both sides; the
+    delta is exactly what snapshot forking amortizes.  The campaign
+    runs ``reps`` times, every rep fully cold, and the fastest rep is
+    reported (same best-of policy as :func:`normalizer_score`).
+    """
+    import gc
+
+    from repro.campaign import run_campaign
+    from repro.harness import runner
+    from repro.workloads.synthetic import clear_trace_cache
+
+    configs = _sweep_configs(name)
+    # Campaigns leave their dead machines as cyclic garbage; a full
+    # collect before each timed section keeps measurements independent
+    # of whatever ran earlier in this process (the garbage otherwise
+    # inflates every GC pass during the next campaign -- and even the
+    # normalizer loop).
+    gc.collect()
+    normalizer = normalizer_score()
+    prev_store = runner.set_result_store(None)
+    prev_snaps = runner.configure_snapshots(8 if amortize else 0)
+    wall = None
+    campaign = None
+    try:
+        for _rep in range(reps):
+            runner.configure_snapshots(8 if amortize else 0)
+            runner.clear_cache()
+            clear_trace_cache()
+            gc.collect()
+            t0 = time.perf_counter()
+            attempt = run_campaign(configs, jobs=1)
+            elapsed = time.perf_counter() - t0
+            if wall is None or elapsed < wall:
+                wall = elapsed
+                campaign = attempt
+    finally:
+        runner.configure_snapshots(prev_snaps)
+        runner.set_result_store(prev_store)
+        runner.clear_cache()
+        clear_trace_cache()
+    failed = [r for r in campaign.records if r.status not in ("completed", "cached")]
+    if failed:
+        raise RuntimeError(
+            f"sweep bench {name!r}: {len(failed)} of {len(configs)} runs "
+            f"failed (first: {failed[0].error})"
+        )
+    snap = campaign.summary.snapshot
+    forks = snap.get("hits", 0)
+    builds = snap.get("misses", 0)
+    ops, cores, dc_mb, seeds = SWEEP_SCENARIOS[name]
+    runs_per_sec = len(configs) / wall
+    return {
+        "params": {"ops": ops, "cores": cores, "dc_mb": dc_mb, "seeds": seeds,
+                   "schemes": list(SWEEP_SCHEMES), "workload": BENCH_WORKLOAD,
+                   "amortize": amortize, "jobs": 1},
+        "runs": len(configs),
+        "runs_per_sec": runs_per_sec,
+        "wall_total_sec": wall,
+        "snapshot_forks": forks,
+        "snapshot_builds": builds,
+        "snapshot_hit_rate": forks / max(1, forks + builds),
+        "normalizer_ops_per_sec": normalizer,
+        "normalized": runs_per_sec / normalizer,
+    }
+
+
+def run_bench(quick: bool = False, profile: bool = True,
+              sweep: bool = False) -> Dict:
+    """Measure the selected scenarios; returns the report dict.
+
+    ``sweep=True`` selects the campaign-amortization scenarios instead
+    of the engine ones (profiling is an engine-side concern and is
+    skipped there).
+    """
     report: Dict = {"scenarios": {}}
+    if sweep:
+        names = ["sweep_quick"] if quick else ["sweep", "sweep_quick"]
+        for name in names:
+            report["scenarios"][name] = run_sweep_scenario(name)
+        return report
+    names = ["quick"] if quick else ["full", "quick"]
     for name in names:
         report["scenarios"][name] = run_scenario(name)
     if profile:

@@ -11,6 +11,15 @@ be installed with :func:`set_result_store`; ``run_workload`` then falls
 back to the disk store on a memo miss and writes every fresh simulation
 through to it, so repeated benchmark/figure runs become cache hits
 across processes and sessions.
+
+Below the result caches sits the **snapshot cache**: configs that
+differ only in ROI-side knobs (seed, trace length) share one
+built+prewarmed machine image, and ``_build`` forks it instead of
+rebuilding (see :mod:`repro.snapshot`).  Forks are bit-identical to
+fresh builds -- pinned by the golden fork test -- so the cache is
+transparent to every result.  Policy mirrors the result caches: guarded
+or telemetry-observed runs may *consume* a snapshot (a fork proves as
+much as a build) but never *prime* one.
 """
 
 from __future__ import annotations
@@ -21,8 +30,15 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config.schemes import NomadConfig, TDCConfig, TiDConfig
 from repro.config.system import scaled_system
+from repro.snapshot import (
+    SnapshotCache,
+    SnapshotError,
+    snapshot_eligible,
+    snapshot_key,
+)
 from repro.system.builder import build_machine
-from repro.system.machine import MachineResult
+from repro.system.machine import Machine, MachineResult
+from repro.workloads.synthetic import trace_cache_stats
 
 
 @dataclass(frozen=True)
@@ -124,21 +140,45 @@ _CACHE = MemoCache()
 # Optional cross-process store (duck-typed: get/put/stats), see
 # repro.campaign.store.ResultStore.
 _STORE = None
+# Built+prewarmed machine images keyed by the build-affecting config
+# prefix; worker processes each hold their own (campaign batching
+# routes same-key runs to the same worker to exploit that).
+_SNAPSHOTS = SnapshotCache()
 
 
 def clear_cache() -> None:
     _CACHE.clear()
 
 
-def cache_stats() -> Dict[str, int]:
-    """Counters of the in-process memo cache."""
-    return _CACHE.stats()
+def cache_stats() -> Dict[str, Dict]:
+    """All in-process cache counters, one section per layer:
+    ``memo`` (results), ``snapshot`` (machine images), ``trace``
+    (materialized workload traces)."""
+    return {
+        "memo": _CACHE.stats(),
+        "snapshot": _SNAPSHOTS.stats(),
+        "trace": trace_cache_stats(),
+    }
 
 
 def configure_cache(maxsize: int) -> None:
     """Re-bound the memo cache (clears it)."""
     global _CACHE
     _CACHE = MemoCache(maxsize=maxsize)
+
+
+def clear_snapshot_cache() -> None:
+    _SNAPSHOTS.clear()
+
+
+def configure_snapshots(maxsize: int) -> int:
+    """Re-bound the snapshot cache (clears it); returns the previous
+    bound.  ``maxsize=0`` disables forking entirely -- the bench
+    harness uses that to measure the rebuild-every-run baseline."""
+    global _SNAPSHOTS
+    prev = _SNAPSHOTS.maxsize
+    _SNAPSHOTS = SnapshotCache(maxsize=maxsize)
+    return prev
 
 
 def set_result_store(store) -> object:
@@ -211,20 +251,49 @@ def simulate(cfg: RunConfig, guard=None, telemetry=None):
 
     The machine comes back for callers that need post-run state the
     result does not carry (full ``Machine.metrics()``, the telemetry
-    document).  Never consults or fills the caches -- ``run_workload``
-    layers that policy on top.
+    document).  Never consults or fills the *result* caches --
+    ``run_workload`` layers that policy on top.  The build may still be
+    served by forking a cached machine snapshot (bit-identical to a
+    fresh build); guarded/observed runs never prime that cache.
     """
     guard_obj = None
     if guard is not None and guard is not False:
         from repro.guard import as_guard
 
         guard_obj = as_guard(guard, run_config=cfg.to_dict())
-    machine = _build(cfg)
+    observed = guard_obj is not None or (
+        telemetry is not None and telemetry is not False
+    )
+    machine = _build(cfg, prime_snapshots=not observed)
     result = machine.run(guard=guard_obj, telemetry=telemetry)
     return result, machine
 
 
-def _build(cfg: RunConfig):
+def _build(cfg: RunConfig, prime_snapshots: bool = True):
+    """A ready-to-run machine for *cfg*: forked from the snapshot cache
+    when a build-compatible image exists, freshly built otherwise.
+
+    A fresh eligible build is snapshotted into the cache unless
+    ``prime_snapshots`` is False (guarded/observed callers).
+    """
+    if snapshot_eligible(cfg) and _SNAPSHOTS.maxsize > 0:
+        key = snapshot_key(cfg)
+        blob = _SNAPSHOTS.get(key)
+        if blob is not None:
+            return Machine.restore(
+                blob, seed=cfg.seed, num_mem_ops=cfg.num_mem_ops
+            )
+        machine = _fresh_build(cfg)
+        if prime_snapshots:
+            try:
+                _SNAPSHOTS.put(key, machine.snapshot())
+            except SnapshotError:
+                pass  # e.g. spec-less machines; just skip amortization
+        return machine
+    return _fresh_build(cfg)
+
+
+def _fresh_build(cfg: RunConfig):
     system = scaled_system(num_cores=cfg.num_cores, dc_megabytes=cfg.dc_megabytes)
     return build_machine(
         cfg.scheme,

@@ -44,6 +44,30 @@ def pa_addr(pfn: int, offset: int) -> int:
     return pfn * PAGE_SIZE + offset
 
 
+class _TLBHook:
+    """One core's TLB install/evict notification into the scheme.
+
+    A class rather than a closure so the whole scheme graph stays
+    picklable for ``Machine.snapshot`` (a closure would not be).
+    """
+
+    __slots__ = ("scheme", "core_id", "installed")
+
+    def __init__(self, scheme: "SchemeBase", core_id: int, installed: bool):
+        self.scheme = scheme
+        self.core_id = core_id
+        self.installed = installed
+
+    def __call__(self, vpn: int, pte: PTE) -> None:
+        self.scheme.on_tlb_change(self.core_id, vpn, pte, self.installed)
+
+    def __getstate__(self):
+        return (self.scheme, self.core_id, self.installed)
+
+    def __setstate__(self, state):
+        self.scheme, self.core_id, self.installed = state
+
+
 class SchemeBase(Component):
     """Abstract DRAM cache scheme + the memory system it governs."""
 
@@ -92,11 +116,8 @@ class SchemeBase(Component):
 
     # -- TLB directory hooks (overridden where CPDs exist) ----------------
 
-    def _make_tlb_hook(self, core_id: int, installed: bool):
-        def _hook(vpn: int, pte: PTE) -> None:
-            self.on_tlb_change(core_id, vpn, pte, installed)
-
-        return _hook
+    def _make_tlb_hook(self, core_id: int, installed: bool) -> _TLBHook:
+        return _TLBHook(self, core_id, installed)
 
     def on_tlb_change(self, core_id: int, vpn: int, pte: PTE, installed: bool) -> None:
         """Maintain the CPD TLB directory; no-op for HW schemes."""

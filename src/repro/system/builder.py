@@ -102,7 +102,10 @@ def build_machine(
     # cores iterate a shared immutable list.
     traces = [materialized_trace(s, seed, i) for i, s in enumerate(specs)]
     name = specs[0].name if len({s.name for s in specs}) == 1 else "mix"
-    machine = Machine(cfg, scheme_obj, traces, workload_name=name)
+    # Specs + seed ride along so Machine.snapshot can re-materialize the
+    # traces on restore instead of pickling them.
+    machine = Machine(cfg, scheme_obj, traces, workload_name=name,
+                      specs=specs, seed=seed)
     if prewarm and scheme != "baseline":
         share = max(1, cfg.dc_pages // cfg.num_cores)
         machine.prewarm_pages([warm_plan(s, share) for s in specs])

@@ -9,6 +9,7 @@ latency, and the derived Table I characteristics (RMHB, LLC MPMS).
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -77,7 +78,8 @@ class MachineResult:
 class Machine:
     """One configured simulation: scheme + per-core traces."""
 
-    def __init__(self, cfg: SystemConfig, scheme, traces, workload_name: str = ""):
+    def __init__(self, cfg: SystemConfig, scheme, traces, workload_name: str = "",
+                 specs=None, seed: Optional[int] = None):
         if len(traces) != cfg.num_cores:
             raise ValueError(
                 f"need {cfg.num_cores} traces, got {len(traces)}"
@@ -87,6 +89,13 @@ class Machine:
         self.sim: Simulator = scheme.sim
         self.workload_name = workload_name
         self._finished = 0
+        # Provenance for snapshot/fork: with the per-core WorkloadSpecs
+        # and the seed recorded, a restored machine can re-materialize
+        # its traces instead of carrying them in the pickle (see
+        # :meth:`snapshot`).  Machines built from raw trace lists keep
+        # None here and simply cannot be snapshotted.
+        self._specs = list(specs) if specs is not None else None
+        self._seed = seed
         self.cores = [
             Core(self.sim, i, cfg.core, scheme, trace, on_finish=self._core_done)
             for i, trace in enumerate(traces)
@@ -116,6 +125,120 @@ class Machine:
                     vpn, dirty = entry, False
                 self.scheme.warm_page(core_id, vpn, dirty=dirty)
 
+    # -- snapshot / fork ---------------------------------------------------
+
+    def _sync_all_stats(self, swallow: bool = False) -> None:
+        """Flush every component's set_sync counters into its StatGroup.
+
+        ``swallow=True`` is for exception paths: a half-updated
+        component's sync hook may itself raise, and that must not mask
+        the original failure (the bundle still gets the other groups).
+        """
+        for component in self.sim.components:
+            try:
+                component.stats.sync()
+            except Exception:
+                if not swallow:
+                    raise
+
+    def snapshot(self) -> bytes:
+        """Serialize the built+prewarmed machine for later forking.
+
+        Must be taken at the build+prewarm boundary: prewarm is
+        functional, so the event queue is empty and no scheduled closure
+        needs to survive pickling.  Counters are ``sync()``-flushed
+        first so the captured state carries exact totals.  The blob
+        excludes the traces (cores drop them, see ``Core.__getstate__``);
+        :meth:`restore` re-materializes them from the recorded specs,
+        which is what lets one snapshot serve every (seed, num_mem_ops).
+        """
+        import pickle
+
+        from repro.snapshot import SNAPSHOT_VERSION, SnapshotError
+
+        if self._specs is None or self._seed is None:
+            raise SnapshotError(
+                "machine was built from raw traces (no WorkloadSpecs "
+                "recorded); only builder-produced machines can snapshot"
+            )
+        if self.sim.events_processed or self.sim.pending_events:
+            raise SnapshotError(
+                f"snapshot must be taken before the run starts "
+                f"(events_processed={self.sim.events_processed}, "
+                f"pending={self.sim.pending_events})"
+            )
+        self._sync_all_stats()
+        payload = {
+            "version": SNAPSHOT_VERSION,
+            "machine": self,
+            "specs": self._specs,
+            "seed": self._seed,
+        }
+        # Same rationale as run(): serializing the machine graph churns
+        # through thousands of temporaries and cyclic-GC passes over the
+        # (large) live heap are pure overhead here.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    @classmethod
+    def restore(cls, blob: bytes, seed: Optional[int] = None,
+                num_mem_ops: Optional[int] = None) -> "Machine":
+        """Fork a machine from a :meth:`snapshot` blob.
+
+        Every call deserializes a fresh, independent object graph, so
+        forks never share mutable state.  ``seed``/``num_mem_ops``
+        override the ROI-side knobs the snapshot is independent of; the
+        traces are re-materialized accordingly (hitting the trace cache
+        when warm).  The forked machine is bit-identical to a freshly
+        built one -- pinned by the golden fork test.
+        """
+        import pickle
+
+        from repro.snapshot import SNAPSHOT_VERSION, SnapshotError
+        from repro.workloads.synthetic import materialized_trace
+
+        # Unpickling materializes the whole machine graph (one object
+        # per DC frame and then some); with collection enabled every few
+        # thousand allocations trigger a full-heap GC pass, which can
+        # make a fork cost as much as the build it replaces.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            raise SnapshotError(f"unreadable snapshot: {exc}") from exc
+        finally:
+            if was_enabled:
+                gc.enable()
+        if not isinstance(payload, dict) or "version" not in payload:
+            raise SnapshotError("unreadable snapshot: not a snapshot payload")
+        version = payload["version"]
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot version {version!r} is not the supported "
+                f"version {SNAPSHOT_VERSION!r}; rebuild instead of forking"
+            )
+        machine: "Machine" = payload["machine"]
+        specs = payload["specs"]
+        if seed is None:
+            seed = payload["seed"]
+        new_specs = []
+        for core, spec in zip(machine.cores, specs):
+            if num_mem_ops is not None and spec.num_mem_ops != num_mem_ops:
+                spec = spec.scaled(num_mem_ops=num_mem_ops)
+            core.attach_trace(materialized_trace(spec, seed, core.core_id))
+            new_specs.append(spec)
+        machine._specs = new_specs
+        machine._seed = seed
+        return machine
+
     # -- run ------------------------------------------------------------------
 
     def run(self, max_events: Optional[int] = None, guard=None,
@@ -137,8 +260,6 @@ class Machine:
         run dies under a guard, the crash bundle carries the last
         telemetry window.
         """
-        import gc
-
         from repro.guard import as_guard
         from repro.telemetry import as_telemetry
 
@@ -174,6 +295,10 @@ class Machine:
                     guard_obj.events_at_failure = self.sim.events_processed
                     if tel_obj is not None:
                         guard_obj.telemetry_window = tel_obj.last_window()
+                    # Flush set_sync counters first: the bundle's
+                    # component dumps (and their replay) must see exact
+                    # totals, not values stale since the last read.
+                    self._sync_all_stats(swallow=True)
                     bundle_path = guard_obj.write_bundle(exc)
                     if bundle_path is not None:
                         try:
@@ -182,12 +307,17 @@ class Machine:
                             pass  # exceptions with __slots__
                 raise
         finally:
+            # Exception-safe teardown: whatever killed the run, gc comes
+            # back on, the guard hooks detach, and the plain-int counter
+            # flush still happens so no caller ever observes stale
+            # StatGroup values.
             if was_enabled:
                 gc.enable()
             if guard_obj is not None:
                 self.sim.attach_guard(None)
             if tel_obj is not None:
                 tel_obj.uninstall()
+            self._sync_all_stats(swallow=True)
         result = self.result()
         if tel_obj is not None:
             tel_obj.finalize(self, result)

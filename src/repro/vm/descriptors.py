@@ -26,6 +26,12 @@ class PPD:
     non_cacheable: bool = False  # NC bit
     dirty: bool = False
 
+    def __reduce__(self):
+        # Machine snapshots pickle one PPD per allocated frame; the
+        # positional form is several times cheaper than the generic
+        # slots protocol (see PTE.__reduce__).
+        return (PPD, (self.pfn, self.cached, self.non_cacheable, self.dirty))
+
 
 @dataclass(slots=True)
 class CPD:
@@ -40,6 +46,13 @@ class CPD:
     dirty_in_cache: bool = False
     pfn: int = 0
     tlb_directory: int = 0  # bitmask: which cores' TLBs hold this CFN
+
+    def __reduce__(self):
+        # One CPD per cache frame (16 K at 64 MB); see PTE.__reduce__.
+        return (CPD, (
+            self.cfn, self.valid, self.dirty_in_cache,
+            self.pfn, self.tlb_directory,
+        ))
 
     @property
     def in_any_tlb(self) -> bool:

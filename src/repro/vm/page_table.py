@@ -29,6 +29,16 @@ class PTE:
     dirty: bool = False  # conventional dirty bit
     dirty_in_cache: bool = False  # DC bit (mirrored in the CPD)
 
+    def __reduce__(self):
+        # Positional-args reduce instead of the generic slots protocol: a
+        # machine snapshot pickles one PTE per touched page, and the TLBs
+        # alias the page table's PTE objects, so they must round-trip as
+        # objects (pickle's memo keeps the aliasing) but cheaply.
+        return (PTE, (
+            self.page_frame_num, self.present, self.cached,
+            self.non_cacheable, self.dirty, self.dirty_in_cache,
+        ))
+
     @property
     def is_tag_miss(self) -> bool:
         """Cacheable but not cached: triggers the DC tag miss handler."""

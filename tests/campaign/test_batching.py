@@ -1,0 +1,112 @@
+"""Scheme-grouped pool batching: planning, isolation, stat merging.
+
+Pool campaigns group runs that share a machine-snapshot key into one
+worker task so the group's first run builds+snapshots and the rest fork
+inside that worker.  Batching must never change results, output order,
+or failure isolation -- only wall clock.
+"""
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.campaign.executor import _plan_batches
+from repro.harness import runner
+from repro.harness.runner import RunConfig, clear_cache
+
+BASE = RunConfig(scheme="nomad", workload="sop", num_mem_ops=300,
+                 num_cores=2, dc_megabytes=8)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_cache()
+    runner.clear_snapshot_cache()
+    prev = runner.set_result_store(None)
+    yield
+    runner.set_result_store(prev)
+    runner.clear_snapshot_cache()
+    clear_cache()
+
+
+# -- planning ------------------------------------------------------------------
+
+
+def _grid(schemes, seeds):
+    return [BASE.with_(scheme=s, seed=seed) for s in schemes for seed in seeds]
+
+
+def test_plan_groups_by_snapshot_key():
+    configs = _grid(["nomad", "tdc"], [1, 2, 3])
+    groups = _plan_batches(list(range(6)), configs, jobs=1, batching=True)
+    assert sorted(i for g in groups for i in g) == list(range(6))
+    assert [0, 1, 2] in groups and [3, 4, 5] in groups
+
+
+def test_plan_chunks_to_keep_workers_busy():
+    configs = _grid(["nomad"], range(1, 9))  # one key, 8 runs
+    groups = _plan_batches(list(range(8)), configs, jobs=4, batching=True)
+    assert sorted(i for g in groups for i in g) == list(range(8))
+    assert len(groups) >= 4  # a single-key sweep still spreads out
+    assert all(len(g) <= 2 for g in groups)
+
+
+def test_plan_keeps_ineligible_configs_singleton():
+    configs = [BASE.with_(scheme="baseline", seed=s) for s in (1, 2)] + \
+              [BASE.with_(seed=s) for s in (1, 2)]
+    groups = _plan_batches(list(range(4)), configs, jobs=1, batching=True)
+    assert [0] in groups and [1] in groups  # baseline never batches
+    assert [2, 3] in groups
+
+
+def test_plan_batching_off_is_all_singletons():
+    configs = _grid(["nomad"], [1, 2, 3])
+    assert _plan_batches([0, 1, 2], configs, jobs=2, batching=False) == \
+        [[0], [1], [2]]
+
+
+def test_plan_preserves_grid_order_of_first_members():
+    configs = _grid(["nomad", "tdc"], [1, 2])
+    groups = _plan_batches(list(range(4)), configs, jobs=1, batching=True)
+    firsts = [g[0] for g in groups]
+    assert firsts == sorted(firsts)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def test_batched_pool_matches_serial_results():
+    configs = _grid(["nomad", "tdc"], [1, 2, 3])
+    serial = run_campaign(configs, jobs=1)
+    assert serial.ok
+    clear_cache()
+    runner.clear_snapshot_cache()
+    pooled = run_campaign(configs, jobs=2)
+    assert pooled.ok
+    for s_rec, p_rec in zip(serial.records, pooled.records):
+        assert s_rec.config == p_rec.config
+        assert s_rec.result == p_rec.result
+
+
+def test_batch_failure_isolated_to_one_item():
+    configs = [BASE.with_(seed=1),
+               BASE.with_(seed=2, workload="nosuch"),
+               BASE.with_(seed=3)]
+    campaign = run_campaign(configs, jobs=2)
+    assert [r.status for r in campaign.records] == \
+        ["completed", "failed", "completed"]
+    assert campaign.summary.failed == 1
+    assert campaign.failures()[0].error
+
+
+def test_pool_summary_merges_worker_snapshot_stats():
+    configs = _grid(["nomad", "tdc"], [1, 2, 3])
+    campaign = run_campaign(configs, jobs=2)
+    assert campaign.ok
+    snap = campaign.summary.snapshot
+    # 6 runs over 2 snapshot keys: at least one fork per key's worker,
+    # however the chunks land.
+    assert snap.get("stores", 0) >= 2
+    assert snap.get("hits", 0) >= 2
+    text = campaign.summary.describe()
+    assert "snapshot cache" in text
+    assert "trace cache" in text

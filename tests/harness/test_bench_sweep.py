@@ -1,0 +1,55 @@
+"""Sweep-bench harness: entry shape, hit accounting, regression gate."""
+
+import pytest
+
+from repro.harness import bench, runner
+
+
+@pytest.fixture
+def tiny_sweep(monkeypatch):
+    monkeypatch.setitem(bench.SWEEP_SCENARIOS, "sweep_quick", (100, 2, 8, 2))
+
+
+def test_sweep_configs_cover_schemes_times_seeds(tiny_sweep):
+    configs = bench._sweep_configs("sweep_quick")
+    assert len(configs) == len(bench.SWEEP_SCHEMES) * 2
+    assert {c.scheme for c in configs} == set(bench.SWEEP_SCHEMES)
+    assert all(c.workload == bench.BENCH_WORKLOAD for c in configs)
+
+
+def test_run_sweep_scenario_entry_shape_and_hits(tiny_sweep):
+    entry = bench.run_sweep_scenario("sweep_quick", reps=1)
+    assert entry["runs"] == 6
+    assert entry["params"]["amortize"] is True
+    # 3 schemes x 2 seeds: one build and one fork per scheme.
+    assert entry["snapshot_builds"] == 3
+    assert entry["snapshot_forks"] == 3
+    assert entry["snapshot_hit_rate"] == pytest.approx(0.5)
+    assert entry["runs_per_sec"] > 0
+    assert entry["normalized"] > 0
+
+
+def test_run_sweep_scenario_baseline_mode_never_forks(tiny_sweep):
+    entry = bench.run_sweep_scenario("sweep_quick", amortize=False, reps=1)
+    assert entry["params"]["amortize"] is False
+    assert entry["snapshot_forks"] == 0
+    assert entry["snapshot_builds"] == 0  # cache disabled: not even misses
+
+
+def test_run_sweep_scenario_restores_runner_state(tiny_sweep):
+    before = runner.cache_stats()["snapshot"]["maxsize"]
+    bench.run_sweep_scenario("sweep_quick", reps=1)
+    assert runner.cache_stats()["snapshot"]["maxsize"] == before
+    assert runner.cache_stats()["memo"]["size"] == 0
+
+
+def test_check_regression_gates_sweep_scenarios():
+    committed = {"scenarios": {"sweep_quick": {"current": {"normalized": 1.0}}}}
+    ok = {"scenarios": {"sweep_quick": {"normalized": 0.95}}}
+    assert bench.check_regression(committed, ok) == []
+    slow = {"scenarios": {"sweep_quick": {"normalized": 0.5}}}
+    problems = bench.check_regression(committed, slow)
+    assert any(p.startswith("FAIL") for p in problems)
+    unknown = {"scenarios": {"other": {"normalized": 1.0}}}
+    problems = bench.check_regression(committed, unknown)
+    assert problems and problems[0].startswith("warn")

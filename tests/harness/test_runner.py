@@ -48,13 +48,20 @@ def test_run_matrix_keys():
 
 
 def test_cache_stats_count_hits_and_misses():
-    assert cache_stats()["size"] == 0
+    assert cache_stats()["memo"]["size"] == 0
     run_workload(SMALL)
-    stats = cache_stats()
+    stats = cache_stats()["memo"]
     assert stats["misses"] >= 1 and stats["size"] == 1
     hits_before = stats["hits"]
     run_workload(SMALL)
-    assert cache_stats()["hits"] == hits_before + 1
+    assert cache_stats()["memo"]["hits"] == hits_before + 1
+
+
+def test_cache_stats_has_all_layers():
+    stats = cache_stats()
+    assert set(stats) == {"memo", "snapshot", "trace"}
+    for section in ("memo", "snapshot", "trace"):
+        assert "hits" in stats[section] and "misses" in stats[section]
 
 
 def test_memo_cache_is_bounded_lru():
@@ -75,6 +82,6 @@ def test_clear_cache_resets_counters():
     run_workload(SMALL)
     run_workload(SMALL)
     clear_cache()
-    stats = cache_stats()
+    stats = cache_stats()["memo"]
     assert stats == {"hits": 0, "misses": 0, "evictions": 0, "size": 0,
                      "maxsize": stats["maxsize"]}

@@ -24,7 +24,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.harness.runner import RunConfig, clear_cache, run_workload
+from repro.harness.runner import (
+    RunConfig,
+    cache_stats,
+    clear_cache,
+    clear_snapshot_cache,
+    run_workload,
+)
 from repro.workloads.synthetic import clear_trace_cache
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -41,12 +47,44 @@ _IDS = [
 
 @pytest.mark.parametrize("entry", _GOLDEN["entries"], ids=_IDS)
 def test_golden_entry_bit_identical(entry):
-    # Memoized results/traces would mask a divergence in the fresh path.
+    # Memoized results/traces/snapshots would mask a divergence in the
+    # fresh path.
     clear_cache()
     clear_trace_cache()
+    clear_snapshot_cache()
     cfg = RunConfig.from_dict(entry["config"])
     result = run_workload(cfg)
     assert result.to_dict() == entry["expected"]
+
+
+# Schemes the snapshot cache forks (see repro.snapshot: baseline/ideal
+# are fork-unprofitable and always build fresh).
+_FORKABLE = [
+    e for e in _GOLDEN["entries"]
+    if e["config"]["scheme"] not in ("baseline", "ideal")
+]
+_FORK_IDS = [
+    f"{e['config']['scheme']}-{e['config']['workload']}-s{e['config']['seed']}"
+    for e in _FORKABLE
+]
+
+
+@pytest.mark.parametrize("entry", _FORKABLE, ids=_FORK_IDS)
+def test_golden_entry_forked_bit_identical(entry):
+    """A run served by forking a machine snapshot matches the golden
+    numbers exactly -- the cache must be invisible in every result."""
+    clear_cache()
+    clear_trace_cache()
+    clear_snapshot_cache()
+    cfg = RunConfig.from_dict(entry["config"])
+    # Prime the snapshot cache with a different-ROI run of the same
+    # build key, then run the golden config: it must take the fork path.
+    run_workload(cfg.with_(seed=cfg.seed + 1))
+    assert cache_stats()["snapshot"]["stores"] == 1
+    result = run_workload(cfg)
+    assert cache_stats()["snapshot"]["hits"] == 1
+    assert result.to_dict() == entry["expected"]
+    clear_snapshot_cache()
 
 
 def _run_cli_json(seed: int) -> dict:

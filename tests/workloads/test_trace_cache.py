@@ -1,0 +1,97 @@
+"""Trace-cache layers: bounded memory LRU, counters, disk round-trip."""
+
+import pytest
+
+from repro.workloads.presets import workload
+from repro.workloads.synthetic import (
+    clear_trace_cache,
+    configure_trace_cache,
+    materialized_trace,
+    trace_cache_stats,
+)
+
+
+def _spec(name="sop", ops=120):
+    return workload(name, dc_pages=2048, num_cores=2, num_mem_ops=ops)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_cache():
+    before = trace_cache_stats()
+    clear_trace_cache()
+    yield
+    configure_trace_cache(maxsize=before["maxsize"],
+                          disk_dir=before["disk_dir"] or None)
+    clear_trace_cache()
+
+
+def test_memory_hit_and_miss_counters():
+    materialized_trace(_spec(), seed=1, core_id=0)
+    stats = trace_cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+    materialized_trace(_spec(), seed=1, core_id=0)
+    stats = trace_cache_stats()
+    assert stats["hits"] == 1 and stats["size"] == 1
+
+
+def test_distinct_keys_do_not_collide():
+    a = materialized_trace(_spec(), seed=1, core_id=0)
+    b = materialized_trace(_spec(), seed=2, core_id=0)
+    c = materialized_trace(_spec(), seed=1, core_id=1)
+    assert trace_cache_stats()["misses"] == 3
+    assert a != b and a != c
+
+
+def test_memory_layer_is_bounded():
+    configure_trace_cache(maxsize=2)
+    for seed in (1, 2, 3):
+        materialized_trace(_spec(), seed=seed, core_id=0)
+    stats = trace_cache_stats()
+    assert stats["size"] == 2
+    assert stats["evictions"] == 1
+    # seed=1 was evicted: regenerating it is a miss, not a hit.
+    materialized_trace(_spec(), seed=1, core_id=0)
+    assert trace_cache_stats()["hits"] == 0
+
+
+def test_shrinking_maxsize_evicts_down():
+    for seed in (1, 2, 3):
+        materialized_trace(_spec(), seed=seed, core_id=0)
+    configure_trace_cache(maxsize=1)
+    assert trace_cache_stats()["size"] == 1
+
+
+def test_disk_layer_round_trips_bit_identically(tmp_path):
+    configure_trace_cache(disk_dir=str(tmp_path))
+    generated = materialized_trace(_spec("cact"), seed=5, core_id=0)
+    assert trace_cache_stats()["disk_writes"] == 1
+    # Drop the memory layer so only the disk file can answer.
+    clear_trace_cache()
+    configure_trace_cache(disk_dir=str(tmp_path))
+    loaded = materialized_trace(_spec("cact"), seed=5, core_id=0)
+    stats = trace_cache_stats()
+    assert stats["disk_hits"] == 1
+    assert loaded == generated
+    # Native scalars, not numpy: downstream code mixes them into dicts
+    # and bit-identity depends on exact types.
+    gap, addr, is_write, dep = loaded[0]
+    assert type(gap) is int and type(addr) is int
+    assert type(is_write) is bool
+
+
+def test_disk_hit_promotes_into_memory(tmp_path):
+    configure_trace_cache(disk_dir=str(tmp_path))
+    materialized_trace(_spec(), seed=8, core_id=0)
+    clear_trace_cache()
+    configure_trace_cache(disk_dir=str(tmp_path))
+    materialized_trace(_spec(), seed=8, core_id=0)  # disk hit
+    materialized_trace(_spec(), seed=8, core_id=0)  # now a memory hit
+    stats = trace_cache_stats()
+    assert stats["disk_hits"] == 1 and stats["hits"] == 1
+
+
+def test_disk_layer_disabled_by_default():
+    materialized_trace(_spec(), seed=1, core_id=0)
+    stats = trace_cache_stats()
+    assert stats["disk_dir"] == ""
+    assert stats["disk_writes"] == 0
