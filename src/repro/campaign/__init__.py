@@ -21,14 +21,21 @@ from repro.campaign.executor import (
     CampaignResult,
     CampaignSummary,
     RunRecord,
+    prescan,
     run_campaign,
     speedup_matrix,
+    summarize_records,
 )
 from repro.campaign.grid import GridSpec
-from repro.campaign.pool import TaskOutcome, map_with_retries
-from repro.campaign.store import ResultStore, default_store_dir
+from repro.campaign.pool import Backoff, TaskOutcome, map_with_retries
+from repro.campaign.store import (
+    ResultStore,
+    atomic_write_json,
+    default_store_dir,
+)
 
 __all__ = [
+    "Backoff",
     "CampaignError",
     "CampaignResult",
     "CampaignSummary",
@@ -36,8 +43,11 @@ __all__ = [
     "ResultStore",
     "RunRecord",
     "TaskOutcome",
+    "atomic_write_json",
     "default_store_dir",
     "map_with_retries",
+    "prescan",
     "run_campaign",
     "speedup_matrix",
+    "summarize_records",
 ]

@@ -247,33 +247,10 @@ def _failed_record(index: int, cfg: RunConfig, status: str,
 # Pool worker
 # ---------------------------------------------------------------------------
 
-_CACHE_COUNT_KEYS = {
-    "snapshot": ("hits", "misses", "stores", "evictions"),
-    "trace": ("hits", "misses", "disk_hits", "disk_writes", "evictions"),
-}
-
-
-def _cache_counts() -> Dict[str, Dict[str, int]]:
-    """The amortization-cache counters a worker reports deltas of."""
-    caches = runner.cache_stats()
-    return {
-        section: {k: int(caches[section].get(k, 0)) for k in keys}
-        for section, keys in _CACHE_COUNT_KEYS.items()
-    }
-
-
-def _cache_delta(before, after) -> Dict[str, Dict[str, int]]:
-    return {
-        section: {k: after[section][k] - before[section][k] for k in counts}
-        for section, counts in before.items()
-    }
-
-
-def _merge_counts(dst: Dict[str, Dict[str, int]], src) -> None:
-    for section, counts in (src or {}).items():
-        bucket = dst.setdefault(section, {})
-        for k, v in counts.items():
-            bucket[k] = bucket.get(k, 0) + v
+# Shared with repro.service runners; see harness.runner.
+_cache_counts = runner.cache_counts
+_cache_delta = runner.cache_delta
+_merge_counts = runner.merge_cache_counts
 
 
 def _simulate_payload(payload: dict) -> dict:
@@ -447,6 +424,84 @@ def _plan_batches(pending: List[int], configs: Sequence[RunConfig],
 
 
 # ---------------------------------------------------------------------------
+# Shared campaign building blocks (pool executor + repro.service)
+# ---------------------------------------------------------------------------
+
+def prescan(
+    configs: Sequence[RunConfig],
+    records: List[Optional[RunRecord]],
+    store,
+    skip_caches: bool = False,
+) -> List[int]:
+    """Resolve every config the caches already answer; return the rest.
+
+    Fills ``records`` in place with QUARANTINED records for configs the
+    store has pinned and CACHED records for memo/store hits (unless
+    ``skip_caches`` -- guarded/observed campaigns always simulate).
+    The returned indices are the still-pending work, in grid order.
+    This is the resume primitive: a distributed campaign re-running
+    after a broker restart prescans against the same store and only
+    re-enqueues what is missing.
+    """
+    # cached_result() consults the module-installed store; install the
+    # one we were handed so standalone callers (the distributed
+    # coordinator) see store hits, not just run_campaign's own flow.
+    prev_store = runner.set_result_store(store)
+    try:
+        pending: List[int] = []
+        for i, cfg in enumerate(configs):
+            if store is not None and hasattr(store, "get_failure"):
+                known = store.get_failure(cfg)
+                if known:
+                    records[i] = _failed_record(
+                        i, cfg, QUARANTINED, known, attempts=0, source="store"
+                    )
+                    continue
+            if not skip_caches:
+                result, source = runner.cached_result(cfg)
+                if result is not None:
+                    records[i] = RunRecord(
+                        i, cfg, CACHED, result, source=source
+                    )
+                    continue
+            pending.append(i)
+        return pending
+    finally:
+        runner.set_result_store(prev_store)
+
+
+def summarize_records(
+    records: List[RunRecord],
+    elapsed_s: float,
+    store,
+    extra_caches: Optional[Dict[str, Dict[str, int]]] = None,
+) -> CampaignSummary:
+    """Fold finished records plus cache counters into a summary.
+
+    ``extra_caches`` carries out-of-process counter deltas (pool-worker
+    batches, service runners) to merge with this process's own.
+    """
+    caches = runner.cache_stats()
+    snapshot_counts = dict(caches["snapshot"])
+    trace_counts = dict(caches["trace"])
+    _merge_counts(
+        {"snapshot": snapshot_counts, "trace": trace_counts}, extra_caches
+    )
+    return CampaignSummary(
+        total=len(records),
+        completed=sum(r.status == COMPLETED for r in records),
+        cached=sum(r.status == CACHED for r in records),
+        failed=sum(r.status in (FAILED, TIMEOUT) for r in records),
+        quarantined=sum(r.status == QUARANTINED for r in records),
+        elapsed_s=elapsed_s,
+        memo=caches["memo"],
+        snapshot=snapshot_counts,
+        trace=trace_counts,
+        store=store.stats() if store is not None else {},
+    )
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -500,6 +555,7 @@ def run_campaign(
     guard=None,
     telemetry=None,
     progress=None,
+    trace_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Execute every run of *grid*; never raises for individual runs.
 
@@ -514,7 +570,9 @@ def run_campaign(
     result has no trace), but their results still prime the caches when
     unguarded.  ``progress`` (``True`` for a stderr printer, or a
     callable) reports live ``done``/``heartbeat`` events while a pool
-    campaign drains.
+    campaign drains.  ``trace_dir`` points pool workers at a shared
+    on-disk trace cache (defaults to ``<store>/traces`` when a store
+    with a root is installed; service runners pass the broker's).
     """
     t0 = time.monotonic()
     configs = grid.expand() if isinstance(grid, GridSpec) else list(grid)
@@ -539,21 +597,10 @@ def run_campaign(
     # Worker-reported amortization-cache counter deltas (pool batches).
     pool_caches: Dict[str, Dict[str, int]] = {}
     try:
-        pending: List[int] = []
-        for i, cfg in enumerate(configs):
-            if effective_store is not None and hasattr(effective_store, "get_failure"):
-                known = effective_store.get_failure(cfg)
-                if known:
-                    records[i] = _failed_record(
-                        i, cfg, QUARANTINED, known, attempts=0, source="store"
-                    )
-                    continue
-            if guard_cfg is None and tel_cfg is None:
-                result, source = runner.cached_result(cfg)
-                if result is not None:
-                    records[i] = RunRecord(i, cfg, CACHED, result, source=source)
-                    continue
-            pending.append(i)
+        pending = prescan(
+            configs, records, effective_store,
+            skip_caches=guard_cfg is not None or tel_cfg is not None,
+        )
 
         if jobs <= 1 or len(pending) <= 1:
             for serial_done, i in enumerate(pending):
@@ -591,13 +638,17 @@ def run_campaign(
             # store's directory so workers stop regenerating identical
             # traces (and later campaigns reuse them too).
             amortize_dict = None
-            store_root = getattr(effective_store, "root", None)
-            if guard_cfg is None and tel_cfg is None and store_root:
-                import os as _os
+            effective_trace_dir = trace_dir
+            if effective_trace_dir is None:
+                store_root = getattr(effective_store, "root", None)
+                if store_root:
+                    import os as _os
 
-                amortize_dict = {
-                    "trace_dir": _os.path.join(str(store_root), "traces")
-                }
+                    effective_trace_dir = _os.path.join(
+                        str(store_root), "traces"
+                    )
+            if guard_cfg is None and tel_cfg is None and effective_trace_dir:
+                amortize_dict = {"trace_dir": effective_trace_dir}
 
             def _payload(i: int) -> dict:
                 payload = configs[i].to_dict()
@@ -729,23 +780,8 @@ def run_campaign(
         runner.set_result_store(prev_store)
 
     done = [r for r in records if r is not None]
-    caches = runner.cache_stats()
-    snapshot_counts = dict(caches["snapshot"])
-    trace_counts = dict(caches["trace"])
-    _merge_counts(
-        {"snapshot": snapshot_counts, "trace": trace_counts}, pool_caches
-    )
-    summary = CampaignSummary(
-        total=len(done),
-        completed=sum(r.status == COMPLETED for r in done),
-        cached=sum(r.status == CACHED for r in done),
-        failed=sum(r.status in (FAILED, TIMEOUT) for r in done),
-        quarantined=sum(r.status == QUARANTINED for r in done),
-        elapsed_s=time.monotonic() - t0,
-        memo=caches["memo"],
-        snapshot=snapshot_counts,
-        trace=trace_counts,
-        store=effective_store.stats() if effective_store is not None else {},
+    summary = summarize_records(
+        done, time.monotonic() - t0, effective_store, pool_caches
     )
     return CampaignResult(done, summary)
 

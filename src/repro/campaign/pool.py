@@ -20,6 +20,7 @@ workers.  Guarantees:
 from __future__ import annotations
 
 import concurrent.futures as cf
+import random as _random
 import time as _time
 import traceback as _traceback
 from concurrent.futures.process import BrokenProcessPool
@@ -30,6 +31,39 @@ OK = "ok"
 ERROR = "error"  # the task itself raised -- deterministic, no retry
 CRASHED = "crashed"  # the worker process died
 TIMEOUT = "timeout"  # stall watchdog fired
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Exponential backoff with jitter, shared by every retry loop.
+
+    ``delay(attempt)`` for attempt 1, 2, 3, ... grows as
+    ``base * factor**(attempt-1)`` capped at ``cap``, then randomized
+    into ``[raw * (1 - jitter), raw]`` so a fleet of retriers does not
+    resynchronize into thundering herds.  Used between pool resubmission
+    rounds and for runner->broker reconnects (:mod:`repro.service`).
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 30.0
+    jitter: float = 0.5  # fraction of the raw delay that is randomized
+
+    def delay(self, attempt: int, rng: Callable[[], float] = _random.random) -> float:
+        raw = min(self.cap, self.base * self.factor ** max(0, attempt - 1))
+        return raw * (1.0 - self.jitter * (1.0 - rng()))
+
+    def sleep(self, attempt: int,
+              sleep: Callable[[float], None] = _time.sleep) -> float:
+        d = self.delay(attempt)
+        sleep(d)
+        return d
+
+
+#: Policy applied between crash/hang resubmission rounds.  Small base:
+#: a pool retry already paid a pool teardown, the backoff only has to
+#: de-correlate, not throttle.
+DEFAULT_POOL_BACKOFF = Backoff(base=0.05, cap=2.0)
 
 
 def _format_tb(exc: BaseException) -> str:
@@ -75,12 +109,15 @@ def map_with_retries(
     retries: int = 1,
     heartbeat: Optional[float] = None,
     on_event: Optional[Callable[[str, dict], None]] = None,
+    backoff: Optional[Backoff] = DEFAULT_POOL_BACKOFF,
 ) -> List[TaskOutcome]:
     """Apply *fn* to every payload across worker processes.
 
     ``timeout`` is a stall watchdog: the time with *no* task completion
     after which outstanding workers are presumed hung.  ``retries`` is
-    the number of *extra* attempts granted to crashed/hung tasks.
+    the number of *extra* attempts granted to crashed/hung tasks;
+    resubmission rounds are spaced by ``backoff`` (exponential with
+    jitter; ``None`` restores immediate resubmit).
 
     ``heartbeat`` (seconds) slices the waits so ``on_event`` can report
     live progress: ``on_event("done", info)`` after each batch of
@@ -178,6 +215,11 @@ def map_with_retries(
             _kill_pool(pool)
         else:
             pool.shutdown(wait=True, cancel_futures=True)
-        # Resubmit crashed/hung tasks that still have attempts left.
+        # Resubmit crashed/hung tasks that still have attempts left,
+        # after a jittered exponential pause (a crashed worker often
+        # means a transiently sick host; hammering it back-to-back just
+        # burns the retry budget).
         pending = [i for i in retry if attempts[i] <= retries]
+        if pending and backoff is not None:
+            backoff.sleep(max(attempts[i] for i in pending))
     return outcomes

@@ -13,9 +13,16 @@ version stamp, so
 
 Entries carry the full config alongside the result; ``get`` verifies it
 against the requested config so hash collisions or corrupted payloads
-degrade to a miss, never to a wrong result.  Writes are atomic
-(temp file + ``os.replace``), so concurrent campaign workers and
-readers can share one store directory.
+degrade to a miss, never to a wrong result.  All writes -- results and
+quarantine records alike -- go through one atomic path (temp file +
+``fsync`` + ``os.replace``), so concurrent campaign workers, service
+runners, and readers can share one store directory and a killed writer
+can never leave a truncated JSON behind.
+
+An optional :class:`repro.service.index.ResultIndex` can be attached
+with :meth:`attach_index`; every ``put``/``put_failure`` then writes
+through to the SQLite index so the store is queryable
+(``repro results``) without directory walks.
 """
 
 from __future__ import annotations
@@ -25,10 +32,35 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.harness.runner import RunConfig
 from repro.system.machine import MachineResult
+
+
+def atomic_write_json(path: Path, payload: dict) -> Path:
+    """Durably replace *path* with the JSON of *payload*.
+
+    The bytes are written to a sibling temp file, fsynced, then renamed
+    over the target -- readers see either the old entry or the complete
+    new one, never a torn write, even if the writer is SIGKILLed
+    mid-call (same discipline as the PR 5 trace-cache ``.npz`` writes).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def default_store_dir() -> Path:
@@ -54,6 +86,12 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self._index = None
+
+    def attach_index(self, index) -> None:
+        """Write-through every ``put``/``put_failure`` to *index* (a
+        :class:`repro.service.index.ResultIndex` or duck-type)."""
+        self._index = index
 
     # -- keys --------------------------------------------------------------
 
@@ -86,24 +124,18 @@ class ResultStore:
 
     def put(self, cfg: RunConfig, result: MachineResult) -> Path:
         path = self.path_for(cfg)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": self.version,
             "config": cfg.to_dict(),
             "result": result.to_dict(),
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, payload)
         self.writes += 1
+        if self._index is not None:
+            self._index.ingest_result(
+                self.key(cfg), cfg.to_dict(), result.to_dict(),
+                version=self.version,
+            )
         return path
 
     # -- quarantine --------------------------------------------------------
@@ -119,25 +151,23 @@ class ResultStore:
 
     def put_failure(self, cfg: RunConfig, info: Dict[str, object]) -> Path:
         """Quarantine *cfg*; ``info`` describes the deterministic failure
-        (``failure_kind``, ``error``, ``bundle_path``, ``traceback``)."""
+        (``failure_kind``, ``error``, ``bundle_path``, ``traceback``).
+
+        Atomic + durable like :meth:`put`: a runner killed mid-write
+        cannot leave a truncated record that poisons later
+        ``get_failure`` calls (those degrade to a miss regardless)."""
         path = self.failure_path_for(cfg)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": self.version,
             "config": cfg.to_dict(),
             "failure": dict(info),
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, payload)
+        if self._index is not None:
+            self._index.ingest_failure(
+                self.key(cfg), cfg.to_dict(), dict(info),
+                version=self.version,
+            )
         return path
 
     def get_failure(self, cfg: RunConfig) -> Optional[Dict[str, object]]:
@@ -155,6 +185,38 @@ class ResultStore:
         return failure
 
     # -- introspection -----------------------------------------------------
+
+    def iter_entries(self) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(key, payload)`` for every readable result entry.
+
+        Corrupted/partial files are skipped (they read as misses
+        everywhere else too).  Quarantine records are excluded; use
+        :meth:`iter_failures`.
+        """
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            if path.parent.name == "quarantine":
+                continue
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict) and "result" in payload:
+                yield path.stem, payload
+
+    def iter_failures(self) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(key, payload)`` for every readable quarantine record."""
+        qdir = self.root / "quarantine"
+        if not qdir.exists():
+            return
+        for path in sorted(qdir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict) and "failure" in payload:
+                yield path.stem, payload
 
     def __len__(self) -> int:
         if not self.root.exists():

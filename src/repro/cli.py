@@ -223,16 +223,62 @@ def cmd_sweep(args) -> int:
     if not args.no_store:
         store = ResultStore(args.store or default_store_dir())
 
-    campaign = run_campaign(
-        grid, jobs=args.jobs, store=store,
-        timeout=args.timeout, retries=args.retries,
-        guard=True if args.guard else None,
-        telemetry=True if args.telemetry else None,
-        progress=None if args.no_progress else True,
-    )
+    if args.distributed or args.resume:
+        if store is None:
+            print("error: --distributed needs the result store "
+                  "(drop --no-store); the store is the shared state "
+                  "between broker, runners, and --resume",
+                  file=sys.stderr)
+            return 2
+        from repro.service import (
+            BrokerError,
+            BrokerUnreachable,
+            local_service,
+            run_distributed_campaign,
+        )
 
+        kwargs = dict(
+            store=store,
+            campaign_id=args.resume or args.campaign_id,
+            resume=bool(args.resume),
+            timeout=args.timeout, retries=args.retries,
+            guard=True if args.guard else None,
+            telemetry=True if args.telemetry else None,
+            progress=None if args.no_progress else True,
+        )
+        grid_arg = None if args.resume else grid
+        try:
+            if args.broker:
+                campaign = run_distributed_campaign(
+                    grid_arg, args.broker, jobs=args.jobs, **kwargs
+                )
+            else:
+                with local_service(
+                    store.root, runners=args.runners,
+                    jobs_per_runner=args.jobs,
+                ) as url:
+                    campaign = run_distributed_campaign(
+                        grid_arg, url,
+                        jobs=max(1, args.runners * args.jobs), **kwargs
+                    )
+        except (BrokerError, BrokerUnreachable) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        campaign = run_campaign(
+            grid, jobs=args.jobs, store=store,
+            timeout=args.timeout, retries=args.retries,
+            guard=True if args.guard else None,
+            telemetry=True if args.telemetry else None,
+            progress=None if args.no_progress else True,
+        )
+
+    campaign_id = getattr(campaign, "campaign_id", None)
     if args.json:
-        _emit_json(campaign.to_dict())
+        payload = campaign.to_dict()
+        if campaign_id:
+            payload["campaign_id"] = campaign_id
+        _emit_json(payload)
         return 0 if campaign.ok else 1
 
     rows = []
@@ -272,7 +318,99 @@ def cmd_sweep(args) -> int:
                        title=f"sweep: {len(rows)} runs, --jobs {args.jobs}"))
     print()
     print(campaign.summary.describe())
+    if campaign_id:
+        print(f"campaign id: {campaign_id} "
+              f"(resume with: repro sweep --distributed "
+              f"--resume {campaign_id})")
     return 0 if campaign.ok else 1
+
+
+def cmd_broker(args) -> int:
+    from repro.service import serve_broker
+
+    serve_broker(args.host, args.port, args.store or default_store_dir(),
+                 lease_s=args.lease)
+    return 0
+
+
+def cmd_runner(args) -> int:
+    from repro.service import runner_loop
+
+    done = runner_loop(
+        args.broker, jobs=args.jobs, runner_id=args.runner_id,
+        poll_s=args.poll, exit_when_idle=args.exit_when_idle,
+        max_batches=args.max_batches, verbose=args.verbose,
+    )
+    if args.verbose:
+        print(f"runner finished: {done} batches")
+    return 0
+
+
+def cmd_serve_dashboard(args) -> int:
+    from repro.service.dashboard import serve_dashboard
+
+    serve_dashboard(args.broker, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_results(args) -> int:
+    from repro.service.index import ResultIndex, parse_where
+
+    store = ResultStore(args.store or default_store_dir())
+    index = ResultIndex(store.root)
+    index.sync_from_store(store)
+    try:
+        where = parse_where(args.where or [])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    statuses: List[str] = []
+    if args.quarantined:
+        statuses.append("quarantined")
+    if args.failed:
+        statuses += ["failed", "timeout"]
+    status = statuses or None
+
+    if args.count:
+        n = index.count(where, status=status)
+        if args.json:
+            _emit_json({"count": n})
+        else:
+            print(n)
+        return 0
+
+    rows = index.query(where, status=status, limit=args.limit)
+    if args.json:
+        _emit_json({"count": len(rows), "rows": rows})
+        return 0
+    if not rows:
+        print("no matching rows (is the store populated? try "
+              "`repro sweep` first, or check --store)")
+        return 0
+    table = []
+    for row in rows:
+        entry = {
+            "key": row["key"][:12],
+            "scheme": row["scheme"],
+            "workload": row["workload"],
+            "seed": row["seed"],
+            "status": row["status"],
+        }
+        if row.get("ipc") is not None:
+            entry["ipc"] = row["ipc"]
+            entry["dc_access_time"] = row["dc_access_time"]
+        if row.get("failure_kind"):
+            entry["kind"] = row["failure_kind"]
+        table.append(entry)
+    columns = ["key", "scheme", "workload", "seed", "status"]
+    if any("ipc" in r for r in table):
+        columns += ["ipc", "dc_access_time"]
+    if any("kind" in r for r in table):
+        columns.append("kind")
+    print(format_table(table, columns=columns,
+                       title=f"result index: {len(rows)} rows "
+                             f"({store.root})"))
+    return 0
 
 
 def cmd_table1(args) -> int:
@@ -486,8 +624,89 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--no-progress", action="store_true",
                       help="suppress the live progress/heartbeat lines "
                            "on stderr")
+    p_sw.add_argument("--distributed", action="store_true",
+                      help="run through the broker/runner service instead "
+                           "of a local process pool")
+    p_sw.add_argument("--broker", default=None, metavar="URL",
+                      help="existing broker to submit to (default: spin up "
+                           "an ephemeral localhost broker + runners)")
+    p_sw.add_argument("--runners", type=int, default=2,
+                      help="runner processes for the ephemeral local "
+                           "service (default 2; ignored with --broker)")
+    p_sw.add_argument("--campaign-id", default=None,
+                      help="explicit campaign id (default: generated)")
+    p_sw.add_argument("--resume", default=None, metavar="ID",
+                      help="re-drive campaign ID from its persisted "
+                           "manifest; already-stored and quarantined "
+                           "configs are not re-run (implies --distributed)")
     add_common(p_sw)
     p_sw.set_defaults(func=cmd_sweep)
+
+    p_br = sub.add_parser(
+        "broker", help="serve the campaign broker (queue + result ingest)"
+    )
+    p_br.add_argument("--host", default="127.0.0.1")
+    p_br.add_argument("--port", type=int, default=8765)
+    p_br.add_argument("--store", default=None,
+                      help="result-store directory the broker ingests into "
+                           "(default: $REPRO_STORE or ~/.cache/repro-nomad)")
+    p_br.add_argument("--lease", type=float, default=60.0,
+                      help="batch lease seconds; a runner silent this long "
+                           "has its batches requeued (default 60)")
+    p_br.set_defaults(func=cmd_broker)
+
+    p_rn = sub.add_parser(
+        "runner", help="pull-based worker: claim batches from a broker"
+    )
+    p_rn.add_argument("--broker", required=True,
+                      help="broker URL or host:port")
+    p_rn.add_argument("--jobs", type=int, default=1,
+                      help="worker processes per batch (default 1)")
+    p_rn.add_argument("--runner-id", default=None,
+                      help="stable id (default: hostname-pid)")
+    p_rn.add_argument("--poll", type=float, default=1.0,
+                      help="idle poll interval seconds (default 1)")
+    p_rn.add_argument("--exit-when-idle", type=float, default=None,
+                      metavar="S", help="exit after S seconds with no "
+                                        "work (default: poll forever)")
+    p_rn.add_argument("--max-batches", type=int, default=None,
+                      help="stop after N batches (testing)")
+    p_rn.add_argument("--verbose", action="store_true",
+                      help="log claims/completions to stdout")
+    p_rn.set_defaults(func=cmd_runner)
+
+    p_dash = sub.add_parser(
+        "serve-dashboard",
+        help="serve the live campaign dashboard for a broker",
+    )
+    p_dash.add_argument("--broker", required=True,
+                        help="broker URL the page polls (CORS-enabled); "
+                             "the broker also serves it itself at "
+                             "/dashboard")
+    p_dash.add_argument("--host", default="127.0.0.1")
+    p_dash.add_argument("--port", type=int, default=8800)
+    p_dash.set_defaults(func=cmd_serve_dashboard)
+
+    p_res = sub.add_parser(
+        "results", help="query the result index (SQLite over the store)"
+    )
+    p_res.add_argument("--where", action="append", default=[],
+                       metavar="COL=VAL",
+                       help="filter, repeatable (e.g. --where scheme=nomad "
+                            "--where seed=2)")
+    p_res.add_argument("--quarantined", action="store_true",
+                       help="only quarantined (deterministic-failure) rows")
+    p_res.add_argument("--failed", action="store_true",
+                       help="only transient failed/timeout rows")
+    p_res.add_argument("--count", action="store_true",
+                       help="print only the matching row count")
+    p_res.add_argument("--limit", type=int, default=None)
+    p_res.add_argument("--store", default=None,
+                       help="result-store directory "
+                            "(default: $REPRO_STORE or ~/.cache/repro-nomad)")
+    p_res.add_argument("--json", action="store_true",
+                       help="structured JSON output instead of tables")
+    p_res.set_defaults(func=cmd_results)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I")
     add_common(p_t1)

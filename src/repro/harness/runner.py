@@ -161,6 +161,41 @@ def cache_stats() -> Dict[str, Dict]:
     }
 
 
+# The amortization-cache counters that travel between processes: pool
+# workers and service runners report *deltas* of these so a campaign
+# summary (or a broker dashboard) can aggregate hit rates fleet-wide.
+CACHE_COUNT_KEYS = {
+    "snapshot": ("hits", "misses", "stores", "evictions"),
+    "trace": ("hits", "misses", "disk_hits", "disk_writes", "evictions"),
+}
+
+
+def cache_counts() -> Dict[str, Dict[str, int]]:
+    """The transportable subset of :func:`cache_stats` (ints only)."""
+    caches = cache_stats()
+    return {
+        section: {k: int(caches[section].get(k, 0)) for k in keys}
+        for section, keys in CACHE_COUNT_KEYS.items()
+    }
+
+
+def cache_delta(before: Dict[str, Dict[str, int]],
+                after: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
+    """Per-counter ``after - before`` over :data:`CACHE_COUNT_KEYS`."""
+    return {
+        section: {k: after[section][k] - before[section][k] for k in counts}
+        for section, counts in before.items()
+    }
+
+
+def merge_cache_counts(dst: Dict[str, Dict[str, int]], src) -> None:
+    """Accumulate a (possibly partial) counts mapping into *dst*."""
+    for section, counts in (src or {}).items():
+        bucket = dst.setdefault(section, {})
+        for k, v in counts.items():
+            bucket[k] = bucket.get(k, 0) + v
+
+
 def configure_cache(maxsize: int) -> None:
     """Re-bound the memo cache (clears it)."""
     global _CACHE

@@ -1,0 +1,52 @@
+"""Distributed campaign service: broker, pull-based runners, index.
+
+The service layer scales :func:`repro.campaign.run_campaign` past one
+host's process pool, with zero new dependencies (stdlib ``http.server``,
+``urllib``, ``sqlite3``):
+
+* :class:`~repro.service.broker.Broker` -- owns a durable work queue of
+  serialized :class:`RunConfig` batches, leases them to runners, and
+  ingests results into the content-addressed
+  :class:`~repro.campaign.store.ResultStore` plus a queryable SQLite
+  :class:`~repro.service.index.ResultIndex`;
+* :func:`~repro.service.runner.runner_loop` -- a pull-based worker
+  (``python -m repro runner``) that claims batches, executes them
+  through the existing ``run_campaign`` machinery (same snapshot-fork
+  and trace-cache amortization), and streams records + telemetry
+  heartbeats back;
+* :func:`~repro.service.coordinator.run_distributed_campaign` -- the
+  queue-backed executor path behind ``repro sweep --distributed``,
+  resumable via the store (``--resume``);
+* :mod:`~repro.service.dashboard` -- a self-contained live HTML page
+  (``repro serve-dashboard`` or the broker's ``/dashboard``).
+
+Everything speaks the JSON protocol in :mod:`repro.service.protocol`
+and is fully testable with broker + runners on localhost.
+"""
+
+from repro.service.broker import Broker, BrokerServer, serve_broker
+from repro.service.coordinator import local_service, run_distributed_campaign
+from repro.service.index import ResultIndex
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    BrokerClient,
+    BrokerError,
+    BrokerUnreachable,
+    batch_id_for,
+)
+from repro.service.runner import runner_loop
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Broker",
+    "BrokerClient",
+    "BrokerError",
+    "BrokerServer",
+    "BrokerUnreachable",
+    "ResultIndex",
+    "batch_id_for",
+    "local_service",
+    "run_distributed_campaign",
+    "runner_loop",
+    "serve_broker",
+]

@@ -1,0 +1,565 @@
+"""The campaign broker: durable work queue + result ingestion.
+
+One broker serves many campaigns and many pull-based runners:
+
+* **enqueue** -- a coordinator submits batches of serialized
+  :class:`RunConfig` payloads (grouped by machine-snapshot key so one
+  runner amortizes forks across a batch) plus a campaign *manifest*
+  (the full config list) that is persisted under
+  ``<store>/service/campaigns/`` for ``--resume``;
+* **claim/lease** -- runners pull batches and hold a lease; a runner
+  that stops heartbeating (crashed, wedged, partitioned) has its leases
+  expired and the batches requeued, so a campaign converges as long as
+  *some* runner survives.  Batch identity is content-addressed
+  (:func:`~repro.service.protocol.batch_id_for`), and a batch completes
+  at most once -- a lease that expires mid-run cannot produce duplicate
+  records;
+* **complete** -- records stream in asynchronously and are ingested
+  immediately into the content-addressed
+  :class:`~repro.campaign.store.ResultStore` (results), its quarantine
+  (deterministic failures, reusing the PR 3 taxonomy), and the SQLite
+  :class:`~repro.service.index.ResultIndex` -- the store is the durable
+  source of truth, so a broker restart loses queue position but never
+  completed work;
+* **status** -- one JSON snapshot (campaign progress, per-runner
+  throughput and cache hit rates, overlap-fraction trend) feeding both
+  the coordinator's poll loop and the live dashboard.
+
+The queue logic lives in :class:`Broker`, pure in-memory + store I/O
+with an injectable clock (unit-testable without sockets);
+:class:`BrokerServer` wraps it in a threading stdlib HTTP server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.campaign.executor import CACHED, COMPLETED, QUARANTINED
+from repro.campaign.store import ResultStore, atomic_write_json
+from repro.harness.runner import RunConfig, merge_cache_counts
+from repro.service.index import ResultIndex
+from repro.service.protocol import PROTOCOL_VERSION, BrokerError, check_protocol
+from repro.system.machine import MachineResult
+
+QUEUED = "queued"
+LEASED = "leased"
+DONE = "done"
+
+#: Overlap-fraction samples kept per campaign for the dashboard trend.
+OVERLAP_TREND_CAP = 256
+
+
+@dataclass
+class _Batch:
+    batch_id: str
+    campaign_id: str
+    indices: List[int]
+    configs: List[dict]
+    state: str = QUEUED
+    lease_runner: str = ""
+    lease_expiry: float = 0.0
+    attempts: int = 0
+    requeues: int = 0
+
+
+@dataclass
+class _Campaign:
+    campaign_id: str
+    meta: Dict[str, object]
+    created_at: float
+    batches: Dict[str, _Batch] = field(default_factory=dict)
+    queue: Deque[str] = field(default_factory=deque)
+    records: Dict[int, dict] = field(default_factory=dict)
+    overlap_trend: Deque[List[float]] = field(
+        default_factory=lambda: deque(maxlen=OVERLAP_TREND_CAP)
+    )
+    cache_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    runs_done: int = 0
+    duplicate_completes: int = 0
+
+
+@dataclass
+class _Runner:
+    runner_id: str
+    first_seen: float
+    last_seen: float
+    batches_done: int = 0
+    runs_done: int = 0
+    stats: Dict[str, object] = field(default_factory=dict)
+
+
+class Broker:
+    """Queue + lease + ingestion state machine (transport-agnostic)."""
+
+    def __init__(
+        self,
+        store_root: Union[str, Path],
+        lease_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.store = ResultStore(store_root)
+        self.index = ResultIndex(store_root)
+        self.store.attach_index(self.index)
+        self.lease_s = lease_s
+        self.clock = clock
+        self.started_at = clock()
+        self.requeues = 0
+        self._lock = threading.RLock()
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._runners: Dict[str, _Runner] = {}
+
+    # -- manifests (the durable half of the queue) -------------------------
+
+    def _manifest_path(self, campaign_id: str) -> Path:
+        return (
+            Path(self.store.root) / "service" / "campaigns"
+            / f"{campaign_id}.json"
+        )
+
+    def _persist_manifest(self, campaign_id: str, meta: dict,
+                          manifest: List[dict]) -> None:
+        atomic_write_json(self._manifest_path(campaign_id), {
+            "campaign_id": campaign_id,
+            "meta": meta,
+            "configs": manifest,
+            "created_at": time.time(),
+        })
+
+    def load_manifest(self, campaign_id: str) -> dict:
+        path = self._manifest_path(campaign_id)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError:
+            raise BrokerError(f"unknown campaign {campaign_id!r}")
+        except ValueError:
+            raise BrokerError(f"corrupted manifest for {campaign_id!r}")
+        if payload.get("campaign_id") != campaign_id:
+            raise BrokerError(f"manifest mismatch for {campaign_id!r}")
+        return payload
+
+    def known_campaigns(self) -> List[str]:
+        root = Path(self.store.root) / "service" / "campaigns"
+        if not root.exists():
+            return []
+        return sorted(p.stem for p in root.glob("*.json"))
+
+    # -- queue -------------------------------------------------------------
+
+    def enqueue(self, campaign_id: str, batches: List[dict], meta: dict,
+                manifest: Optional[List[dict]] = None) -> dict:
+        if not campaign_id:
+            raise BrokerError("enqueue needs a campaign_id")
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is None:
+                campaign = _Campaign(
+                    campaign_id=campaign_id,
+                    meta=dict(meta or {}),
+                    created_at=self.clock(),
+                )
+                self._campaigns[campaign_id] = campaign
+            elif meta:
+                campaign.meta.update(meta)
+            accepted = skipped = 0
+            for spec in batches:
+                batch_id = str(spec["batch_id"])
+                if batch_id in campaign.batches:
+                    skipped += 1
+                    continue
+                batch = _Batch(
+                    batch_id=batch_id,
+                    campaign_id=campaign_id,
+                    indices=[int(i) for i in spec["indices"]],
+                    configs=list(spec["configs"]),
+                )
+                if len(batch.indices) != len(batch.configs):
+                    raise BrokerError(
+                        f"batch {batch_id}: {len(batch.indices)} indices "
+                        f"vs {len(batch.configs)} configs"
+                    )
+                campaign.batches[batch_id] = batch
+                campaign.queue.append(batch_id)
+                accepted += 1
+        if manifest is not None:
+            self._persist_manifest(campaign_id, dict(meta or {}), manifest)
+        return {"accepted": accepted, "skipped": skipped,
+                "batches": len(self._campaigns[campaign_id].batches)}
+
+    def _expire_leases(self) -> None:
+        now = self.clock()
+        with self._lock:
+            for campaign in self._campaigns.values():
+                for batch in campaign.batches.values():
+                    if batch.state == LEASED and now >= batch.lease_expiry:
+                        batch.state = QUEUED
+                        batch.lease_runner = ""
+                        batch.requeues += 1
+                        self.requeues += 1
+                        campaign.queue.append(batch.batch_id)
+
+    def claim(self, runner_id: str, max_batches: int = 1) -> dict:
+        if not runner_id:
+            raise BrokerError("claim needs a runner_id")
+        self._expire_leases()
+        now = self.clock()
+        granted: List[dict] = []
+        with self._lock:
+            self._touch_runner(runner_id)
+            # Oldest campaign first: finish what was started before
+            # spreading onto newer submissions.
+            for campaign in sorted(
+                self._campaigns.values(), key=lambda c: c.created_at
+            ):
+                while campaign.queue and len(granted) < max_batches:
+                    batch_id = campaign.queue.popleft()
+                    batch = campaign.batches[batch_id]
+                    if batch.state != QUEUED:
+                        continue  # stale queue entry (e.g. done meanwhile)
+                    batch.state = LEASED
+                    batch.lease_runner = runner_id
+                    batch.lease_expiry = now + self.lease_s
+                    batch.attempts += 1
+                    granted.append({
+                        "campaign_id": campaign.campaign_id,
+                        "batch_id": batch.batch_id,
+                        "indices": list(batch.indices),
+                        "configs": list(batch.configs),
+                        "meta": dict(campaign.meta),
+                        "attempt": batch.attempts,
+                    })
+                if len(granted) >= max_batches:
+                    break
+        return {"batches": granted, "lease_s": self.lease_s}
+
+    def complete(self, runner_id: str, campaign_id: str, batch_id: str,
+                 items: List[dict],
+                 cache_stats: Optional[dict] = None) -> dict:
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is None:
+                raise BrokerError(f"unknown campaign {campaign_id!r}")
+            batch = campaign.batches.get(batch_id)
+            if batch is None:
+                raise BrokerError(
+                    f"unknown batch {batch_id!r} in campaign {campaign_id!r}"
+                )
+            if batch.state == DONE:
+                # An expired lease's original runner finishing late, or
+                # a retried /complete: the first completion won.  Drop
+                # it -- never double-ingest.
+                campaign.duplicate_completes += 1
+                return {"accepted": False, "reason": "already complete"}
+            runner = self._touch_runner(runner_id)
+            batch.state = DONE
+            batch.lease_runner = ""
+            runner.batches_done += 1
+            runner.runs_done += len(items)
+            campaign.runs_done += len(items)
+            merge_cache_counts(campaign.cache_counts, cache_stats)
+            merge_cache_counts(
+                runner.stats.setdefault("cache", {}), cache_stats
+            )
+        # Store/index ingestion outside the queue lock: it is file and
+        # SQLite I/O with its own locking, and claims must not stall
+        # behind it.
+        for item in items:
+            self._ingest_item(campaign, item)
+        return {"accepted": True}
+
+    def _ingest_item(self, campaign: _Campaign, item: dict) -> None:
+        index = int(item["index"])
+        status = item.get("status", "")
+        cfg = RunConfig.from_dict(item["config"])
+        if status in (COMPLETED, CACHED) and item.get("result"):
+            self.store.put(cfg, MachineResult.from_dict(item["result"]))
+        elif status == QUARANTINED:
+            self.store.put_failure(cfg, {
+                "failure_kind": item.get("failure_kind", ""),
+                "error": item.get("error", ""),
+                "bundle_path": item.get("bundle_path", ""),
+                "traceback": item.get("traceback", ""),
+            })
+        else:  # failed / timeout: indexed for `repro results --failed`,
+            # but not pinned -- a resume retries these.
+            self.index.ingest_failure(
+                self.store.key(cfg), cfg.to_dict(),
+                {"failure_kind": item.get("failure_kind", ""),
+                 "error": item.get("error", "")},
+                version=self.store.version,
+                status=status or "failed",
+            )
+        telemetry = item.get("telemetry") or {}
+        overlap = telemetry.get("overlap_fraction")
+        with self._lock:
+            campaign.records[index] = item
+            if overlap is not None:
+                campaign.overlap_trend.append(
+                    [round(self.clock() - self.started_at, 3), overlap]
+                )
+
+    def heartbeat(self, runner_id: str, stats: dict) -> dict:
+        self._expire_leases()
+        now = self.clock()
+        renewed = 0
+        with self._lock:
+            runner = self._touch_runner(runner_id)
+            if stats:
+                runner.stats.update(stats)
+            for campaign in self._campaigns.values():
+                for batch in campaign.batches.values():
+                    if batch.state == LEASED and batch.lease_runner == runner_id:
+                        batch.lease_expiry = now + self.lease_s
+                        renewed += 1
+        return {"renewed": renewed, "lease_s": self.lease_s}
+
+    def _touch_runner(self, runner_id: str) -> _Runner:
+        now = self.clock()
+        runner = self._runners.get(runner_id)
+        if runner is None:
+            runner = _Runner(runner_id, first_seen=now, last_seen=now)
+            self._runners[runner_id] = runner
+        runner.last_seen = now
+        return runner
+
+    # -- introspection -----------------------------------------------------
+
+    def campaign_status(self, campaign: _Campaign) -> dict:
+        states = {QUEUED: 0, LEASED: 0, DONE: 0}
+        for batch in campaign.batches.values():
+            states[batch.state] += 1
+        by_status: Dict[str, int] = {}
+        for item in campaign.records.values():
+            s = item.get("status", "?")
+            by_status[s] = by_status.get(s, 0) + 1
+        return {
+            "batches": len(campaign.batches),
+            "queued": states[QUEUED],
+            "leased": states[LEASED],
+            "done": states[DONE],
+            "runs_done": campaign.runs_done,
+            "records_by_status": by_status,
+            "duplicate_completes": campaign.duplicate_completes,
+            "cache_counts": {
+                k: dict(v) for k, v in campaign.cache_counts.items()
+            },
+            "overlap_trend": [list(p) for p in campaign.overlap_trend],
+            "age_s": round(self.clock() - campaign.created_at, 3),
+        }
+
+    def status(self, campaign_id: Optional[str] = None) -> dict:
+        self._expire_leases()
+        now = self.clock()
+        with self._lock:
+            campaigns = {
+                cid: self.campaign_status(c)
+                for cid, c in self._campaigns.items()
+                if campaign_id is None or cid == campaign_id
+            }
+            runners = {}
+            for rid, r in self._runners.items():
+                elapsed = max(1e-9, r.last_seen - r.first_seen)
+                runners[rid] = {
+                    "last_seen_s": round(now - r.last_seen, 3),
+                    "batches_done": r.batches_done,
+                    "runs_done": r.runs_done,
+                    "runs_per_sec": (
+                        round(r.runs_done / elapsed, 3) if r.runs_done else 0.0
+                    ),
+                    "stats": dict(r.stats),
+                }
+        return {
+            "campaigns": campaigns,
+            "runners": runners,
+            "requeues": self.requeues,
+            "uptime_s": round(now - self.started_at, 3),
+            "store": self.store.stats(),
+            "index": self.index.stats(),
+            "lease_s": self.lease_s,
+        }
+
+    def records(self, campaign_id: str) -> List[dict]:
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is None:
+                raise BrokerError(f"unknown campaign {campaign_id!r}")
+            return [campaign.records[i] for i in sorted(campaign.records)]
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end
+# ---------------------------------------------------------------------------
+
+class _BrokerHandler(BaseHTTPRequestHandler):
+    # Set by BrokerServer:
+    broker: Broker = None  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+        pass  # keep CI logs readable; the broker has /status
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _reply(self, payload: dict, code: int = 200,
+               content_type: str = "application/json") -> None:
+        if content_type == "application/json":
+            payload = dict(payload)
+            payload["protocol"] = PROTOCOL_VERSION
+            body = json.dumps(payload).encode()
+        else:
+            body = payload  # type: ignore[assignment]
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        # The dashboard may be served from another origin/port.
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode() or "{}")
+        except ValueError:
+            raise BrokerError("request body is not valid JSON")
+        return check_protocol(payload, side="client")
+
+    def _dispatch(self, fn) -> None:
+        try:
+            self._reply(fn())
+        except BrokerError as exc:
+            self._reply({"error": str(exc)}, code=400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(
+                {"error": f"{type(exc).__name__}: {exc}"}, code=500
+            )
+
+    # -- routes ------------------------------------------------------------
+
+    def do_POST(self):  # noqa: N802 - stdlib name
+        path = urlparse(self.path).path
+        try:
+            body = self._read_json()
+        except BrokerError as exc:
+            return self._reply({"error": str(exc)}, code=400)
+        broker = self.broker
+        if path == "/enqueue":
+            self._dispatch(lambda: broker.enqueue(
+                str(body.get("campaign_id", "")),
+                list(body.get("batches", [])),
+                dict(body.get("meta") or {}),
+                body.get("manifest"),
+            ))
+        elif path == "/claim":
+            self._dispatch(lambda: broker.claim(
+                str(body.get("runner_id", "")),
+                int(body.get("max_batches", 1)),
+            ))
+        elif path == "/complete":
+            self._dispatch(lambda: broker.complete(
+                str(body.get("runner_id", "")),
+                str(body.get("campaign_id", "")),
+                str(body.get("batch_id", "")),
+                list(body.get("items", [])),
+                dict(body.get("cache_stats") or {}),
+            ))
+        elif path == "/heartbeat":
+            self._dispatch(lambda: broker.heartbeat(
+                str(body.get("runner_id", "")),
+                dict(body.get("stats") or {}),
+            ))
+        else:
+            self._reply({"error": f"no such endpoint {path}"}, code=404)
+
+    def do_GET(self):  # noqa: N802 - stdlib name
+        parsed = urlparse(self.path)
+        params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        broker = self.broker
+        if parsed.path == "/status":
+            self._dispatch(
+                lambda: broker.status(params.get("campaign_id"))
+            )
+        elif parsed.path == "/records":
+            self._dispatch(lambda: {
+                "items": broker.records(params.get("campaign_id", ""))
+            })
+        elif parsed.path == "/campaign":
+            self._dispatch(
+                lambda: broker.load_manifest(params.get("campaign_id", ""))
+            )
+        elif parsed.path in ("/", "/dashboard"):
+            from repro.service.dashboard import render_dashboard
+
+            self._reply(
+                render_dashboard(broker_url="").encode(),
+                content_type="text/html; charset=utf-8",
+            )
+        else:
+            self._reply({"error": f"no such endpoint {parsed.path}"},
+                        code=404)
+
+
+class BrokerServer:
+    """A :class:`Broker` behind a threading stdlib HTTP server."""
+
+    def __init__(self, broker: Broker, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.broker = broker
+        handler = type(
+            "BoundBrokerHandler", (_BrokerHandler,), {"broker": broker}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "BrokerServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="broker-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def serve_broker(host: str, port: int, store_root: Union[str, Path],
+                 lease_s: float = 60.0) -> None:
+    """Blocking entry point behind ``python -m repro broker``."""
+    broker = Broker(store_root, lease_s=lease_s)
+    server = BrokerServer(broker, host=host, port=port)
+    print(f"broker listening on {server.url} "
+          f"(store {broker.store.root}, lease {lease_s:.0f}s)")
+    print(f"dashboard: {server.url}/dashboard")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()

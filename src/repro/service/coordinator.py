@@ -1,0 +1,256 @@
+"""Queue-backed campaign execution (``repro sweep --distributed``).
+
+The coordinator is ``run_campaign``'s distributed twin, built from the
+same campaign primitives:
+
+1. expand the grid (or, for ``--resume``, reload the persisted
+   manifest), :func:`~repro.campaign.executor.prescan` against the
+   shared :class:`ResultStore` -- quarantined and already-stored
+   configs resolve locally and are **not** re-enqueued, which is what
+   makes campaigns resumable across broker and runner restarts;
+2. plan batches with the pool's snapshot-key grouping
+   (:func:`~repro.campaign.executor._plan_batches`) so each runner
+   amortizes machine forks, give every batch a content-addressed id,
+   and submit to the broker (idempotent -- re-submitting pending work
+   dedupes);
+3. poll broker status, forwarding progress events, until every
+   submitted batch is done;
+4. pull the records back, merge by grid index, and return an ordinary
+   :class:`~repro.campaign.CampaignResult` -- callers cannot tell the
+   difference from a pool campaign (and the results are bit-identical;
+   CI pins that).
+
+:func:`local_service` spins up an in-process broker plus N runner
+subprocesses on localhost, so ``repro sweep --distributed`` works with
+no pre-existing service -- the CI smoke job and the tests drive the
+same path with an external broker.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Iterable, List, Optional, Union
+
+from repro.campaign.executor import (
+    CampaignResult,
+    RunRecord,
+    _as_campaign_telemetry,
+    _as_progress,
+    _plan_batches,
+    prescan,
+    summarize_records,
+)
+from repro.campaign.grid import GridSpec
+from repro.harness.runner import RunConfig
+from repro.service.protocol import BrokerClient, BrokerError, batch_id_for
+from repro.system.machine import MachineResult
+
+
+def new_campaign_id() -> str:
+    return f"c{uuid.uuid4().hex[:12]}"
+
+
+def _record_from_item(index: int, cfg: RunConfig, item: dict) -> RunRecord:
+    result = item.get("result")
+    return RunRecord(
+        index=index,
+        config=cfg,
+        status=item.get("status", "failed"),
+        result=MachineResult.from_dict(result) if result else None,
+        source=item.get("source", ""),
+        error=item.get("error", ""),
+        attempts=int(item.get("attempts", 0)),
+        failure_kind=item.get("failure_kind", ""),
+        bundle_path=item.get("bundle_path", ""),
+        traceback=item.get("traceback", ""),
+        telemetry=item.get("telemetry"),
+    )
+
+
+def run_distributed_campaign(
+    grid: Union[GridSpec, Iterable[RunConfig], None],
+    broker: str,
+    store,
+    campaign_id: Optional[str] = None,
+    resume: bool = False,
+    jobs: int = 2,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    guard=None,
+    telemetry=None,
+    progress=None,
+    poll_s: float = 0.25,
+    max_wait_s: Optional[float] = None,
+) -> CampaignResult:
+    """Drain *grid* through a broker's runner fleet.
+
+    ``store`` must be the same store directory the broker ingests into
+    (a shared filesystem on multi-host setups): the prescan against it
+    is both the cache layer and the resume mechanism.  ``jobs`` is the
+    expected fleet-wide worker-slot count -- it only tunes batch
+    chunking, not any local parallelism.  With ``resume=True`` the grid
+    may be ``None``; the config list is reloaded from the campaign's
+    persisted manifest.
+    """
+    t0 = time.monotonic()
+    client = BrokerClient(broker)
+    cid = campaign_id or new_campaign_id()
+
+    tel_cfg = _as_campaign_telemetry(telemetry)
+    guard_cfg = None
+    if guard is not None and guard is not False:
+        from repro.guard import GuardConfig
+
+        guard_cfg = guard if isinstance(guard, GuardConfig) else GuardConfig()
+    on_event = _as_progress(progress)
+
+    if resume:
+        manifest = client.manifest(cid)
+        configs = [
+            RunConfig.from_dict(c) for c in manifest.get("configs", [])
+        ]
+        if not configs:
+            raise BrokerError(f"campaign {cid!r} has an empty manifest")
+    elif grid is None:
+        raise ValueError("run_distributed_campaign needs a grid or resume=True")
+    else:
+        configs = grid.expand() if isinstance(grid, GridSpec) else list(grid)
+
+    records: List[Optional[RunRecord]] = [None] * len(configs)
+    pending = prescan(
+        configs, records, store,
+        skip_caches=guard_cfg is not None or tel_cfg is not None,
+    )
+
+    submitted: List[str] = []
+    if pending:
+        groups = _plan_batches(
+            pending, configs, jobs,
+            batching=guard_cfg is None and tel_cfg is None,
+        )
+        meta = {
+            "timeout": timeout,
+            "retries": retries,
+            "guard": guard_cfg.to_dict() if guard_cfg is not None else None,
+            "telemetry": tel_cfg.to_dict() if tel_cfg is not None else None,
+        }
+        store_root = getattr(store, "root", None)
+        if store_root and guard_cfg is None and tel_cfg is None:
+            meta["trace_dir"] = os.path.join(str(store_root), "traces")
+        batches = []
+        for group in groups:
+            payloads = [configs[i].to_dict() for i in group]
+            batches.append({
+                "batch_id": batch_id_for(cid, payloads),
+                "indices": list(group),
+                "configs": payloads,
+            })
+        submitted = [b["batch_id"] for b in batches]
+        client.enqueue(
+            cid, batches, meta,
+            manifest=[c.to_dict() for c in configs],
+        )
+
+        # Drain: poll until every batch this submission covers is done.
+        last_done = -1
+        last_beat = time.monotonic()
+        while True:
+            status = client.status(cid)
+            campaign = status.get("campaigns", {}).get(cid, {})
+            done = int(campaign.get("done", 0))
+            total = int(campaign.get("batches", len(submitted)))
+            if on_event is not None:
+                now = time.monotonic()
+                if done != last_done or now - last_beat >= 2.0:
+                    runs_done = int(campaign.get("runs_done", 0))
+                    on_event("done" if done != last_done else "heartbeat", {
+                        "completed": runs_done,
+                        "outstanding": max(0, len(pending) - runs_done),
+                        "total": len(pending),
+                    })
+                    last_done = done
+                    last_beat = now
+            if done >= total:
+                break
+            if (max_wait_s is not None
+                    and time.monotonic() - t0 > max_wait_s):
+                raise BrokerError(
+                    f"campaign {cid!r} did not converge within "
+                    f"{max_wait_s}s ({done}/{total} batches)"
+                )
+            time.sleep(poll_s)
+
+        for item in client.records(cid):
+            i = int(item["index"])
+            if records[i] is None:  # don't clobber prescan resolutions
+                records[i] = _record_from_item(i, configs[i], item)
+
+    done_records = [r for r in records if r is not None]
+    broker_caches = {}
+    try:
+        status = client.status(cid)
+        broker_caches = (
+            status.get("campaigns", {}).get(cid, {}).get("cache_counts", {})
+        )
+    except BrokerError:
+        pass
+    summary = summarize_records(
+        done_records, time.monotonic() - t0, store, broker_caches
+    )
+    result = CampaignResult(done_records, summary)
+    result.campaign_id = cid  # type: ignore[attr-defined]
+    return result
+
+
+@contextmanager
+def local_service(
+    store_root,
+    runners: int = 2,
+    jobs_per_runner: int = 1,
+    lease_s: float = 60.0,
+    exit_when_idle: float = 10.0,
+):
+    """An ephemeral localhost service: in-process broker + runner procs.
+
+    Yields the broker URL.  Runner subprocesses inherit this process's
+    ``sys.path`` (via ``PYTHONPATH``) so source checkouts work without
+    installation; they exit on their own once the broker goes away or
+    the queue stays empty for ``exit_when_idle`` seconds.
+    """
+    from repro.service.broker import Broker, BrokerServer
+
+    broker = Broker(store_root, lease_s=lease_s)
+    server = BrokerServer(broker).start()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in sys.path if p] +
+        ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    procs: List[subprocess.Popen] = []
+    try:
+        for _ in range(max(1, runners)):
+            procs.append(subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "runner",
+                    "--broker", server.url,
+                    "--jobs", str(jobs_per_runner),
+                    "--exit-when-idle", str(exit_when_idle),
+                    "--poll", "0.2",
+                ],
+                env=env,
+            ))
+        yield server.url
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        server.shutdown()

@@ -1,0 +1,288 @@
+"""Live campaign dashboard: one self-contained HTML page.
+
+No build step, no JS dependencies: the page carries its own CSS/JS and
+polls the broker's ``/status`` JSON endpoint every couple of seconds.
+It renders campaign progress (batches + per-status record counts),
+per-runner throughput and snapshot/trace-cache hit rates from the
+telemetry heartbeats, and the overlap-fraction trend as an inline SVG
+sparkline -- the paper's non-blocking claim, live, while a sweep runs.
+
+Served two ways:
+
+* the broker itself answers ``GET /dashboard`` (same origin, zero
+  setup);
+* ``python -m repro serve-dashboard --broker URL`` hosts the page on a
+  separate port (the broker sends CORS headers, so a dashboard host
+  can sit anywhere that can reach the broker).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+# Single-accent page: one categorical slot for data marks, status red
+# reserved for failures (with a text label, never color alone); all
+# text wears text tokens.  Light/dark are both specified.
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro campaign service</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --surface-2: #f1f0ee;
+    --text-primary: #0b0b0b; --text-secondary: #52514e;
+    --line: #dddcd8;
+    --series-1: #2a78d6; --status-bad: #e34948; --status-warn: #eda100;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --surface-2: #232322;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7;
+      --line: #3a3936;
+      --series-1: #3987e5; --status-bad: #e66767; --status-warn: #c98500;
+    }
+  }
+  body { margin: 0; padding: 24px; background: var(--surface-1);
+         color: var(--text-primary);
+         font: 14px/1.5 system-ui, -apple-system, sans-serif; }
+  h1 { font-size: 18px; margin: 0 0 4px; }
+  .sub { color: var(--text-secondary); margin-bottom: 20px; }
+  .cards { display: flex; flex-wrap: wrap; gap: 16px; margin-bottom: 20px; }
+  .card { background: var(--surface-2); border-radius: 8px;
+          padding: 14px 18px; min-width: 130px; }
+  .card .label { color: var(--text-secondary); font-size: 12px; }
+  .card .value { font-size: 24px; font-variant-numeric: tabular-nums; }
+  table { border-collapse: collapse; width: 100%; margin-bottom: 24px; }
+  th { text-align: left; color: var(--text-secondary); font-weight: 500;
+       font-size: 12px; border-bottom: 1px solid var(--line);
+       padding: 6px 10px 6px 0; }
+  td { padding: 6px 10px 6px 0; border-bottom: 1px solid var(--line);
+       font-variant-numeric: tabular-nums; }
+  .meter { background: var(--line); border-radius: 4px; height: 8px;
+           width: 160px; display: inline-block; vertical-align: middle; }
+  .meter > div { background: var(--series-1); border-radius: 4px;
+                 height: 8px; }
+  .bad { color: var(--status-bad); }
+  .warn { color: var(--status-warn); }
+  .section { font-size: 15px; font-weight: 600; margin: 18px 0 8px; }
+  #spark { background: var(--surface-2); border-radius: 8px; }
+  .err { color: var(--status-bad); margin: 12px 0; display: none; }
+  .muted { color: var(--text-secondary); }
+</style>
+</head>
+<body>
+<h1>repro campaign service</h1>
+<div class="sub">broker <span id="broker-url"></span> ·
+  uptime <span id="uptime">–</span> ·
+  lease requeues <span id="requeues">0</span></div>
+<div class="err" id="error"></div>
+<div class="cards" id="cards"></div>
+<div class="section">Campaigns</div>
+<table id="campaigns">
+  <thead><tr><th>campaign</th><th>batches</th><th>progress</th>
+  <th>records</th><th>failed</th><th>quarantined</th><th>age</th></tr></thead>
+  <tbody></tbody>
+</table>
+<div class="section">Runners</div>
+<table id="runners">
+  <thead><tr><th>runner</th><th>last seen</th><th>batches</th><th>runs</th>
+  <th>runs/s</th><th>snapshot fork rate</th><th>trace hit rate</th></tr></thead>
+  <tbody></tbody>
+</table>
+<div class="section">Overlap fraction (latest campaign, most recent runs)</div>
+<svg id="spark" width="640" height="96" viewBox="0 0 640 96"
+     role="img" aria-label="overlap fraction trend"></svg>
+<div class="muted" id="spark-note">no overlap samples yet — run a sweep
+with <code>--telemetry</code> to populate this trend</div>
+<script>
+"use strict";
+const BROKER = __BROKER_URL__;  // empty = same origin as this page
+document.getElementById("broker-url").textContent = BROKER || "(this origin)";
+
+function fmtRate(counts) {
+  if (!counts) return "–";
+  const h = counts.hits || 0, m = counts.misses || 0;
+  if (h + m === 0) return "–";
+  return Math.round(100 * h / (h + m)) + "%";
+}
+function fmtAge(s) {
+  if (s == null) return "–";
+  if (s < 90) return s.toFixed(0) + "s";
+  if (s < 5400) return (s / 60).toFixed(1) + "m";
+  return (s / 3600).toFixed(1) + "h";
+}
+function el(tag, text, cls) {
+  const e = document.createElement(tag);
+  if (text !== undefined && text !== null) e.textContent = String(text);
+  if (cls) e.className = cls;
+  return e;
+}
+function meter(frac) {
+  const wrap = el("div", null, "meter");
+  const fill = el("div");
+  fill.style.width = Math.round(100 * Math.max(0, Math.min(1, frac))) + "%";
+  wrap.appendChild(fill);
+  return wrap;
+}
+
+function renderCards(status) {
+  const campaigns = Object.values(status.campaigns || {});
+  const runs = campaigns.reduce((a, c) => a + (c.runs_done || 0), 0);
+  const queued = campaigns.reduce((a, c) => a + (c.queued || 0), 0);
+  const leased = campaigns.reduce((a, c) => a + (c.leased || 0), 0);
+  const cards = [
+    ["campaigns", campaigns.length],
+    ["runners", Object.keys(status.runners || {}).length],
+    ["runs ingested", runs],
+    ["batches queued", queued],
+    ["batches leased", leased],
+    ["store entries", (status.store || {}).entries ?? "–"],
+  ];
+  const box = document.getElementById("cards");
+  box.replaceChildren(...cards.map(([label, value]) => {
+    const card = el("div", null, "card");
+    card.appendChild(el("div", label, "label"));
+    card.appendChild(el("div", value, "value"));
+    return card;
+  }));
+}
+
+function renderCampaigns(status) {
+  const body = document.querySelector("#campaigns tbody");
+  body.replaceChildren();
+  for (const [cid, c] of Object.entries(status.campaigns || {})) {
+    const by = c.records_by_status || {};
+    const failed = (by.failed || 0) + (by.timeout || 0);
+    const row = document.createElement("tr");
+    row.appendChild(el("td", cid));
+    row.appendChild(el("td", `${c.done}/${c.batches}`));
+    const prog = document.createElement("td");
+    prog.appendChild(meter(c.batches ? c.done / c.batches : 0));
+    row.appendChild(prog);
+    row.appendChild(el("td", c.runs_done || 0));
+    row.appendChild(el("td", failed ? `✗ ${failed}` : "0",
+                       failed ? "bad" : ""));
+    row.appendChild(el("td", by.quarantined || 0,
+                       by.quarantined ? "warn" : ""));
+    row.appendChild(el("td", fmtAge(c.age_s)));
+    body.appendChild(row);
+  }
+}
+
+function renderRunners(status) {
+  const body = document.querySelector("#runners tbody");
+  body.replaceChildren();
+  for (const [rid, r] of Object.entries(status.runners || {})) {
+    const cache = (r.stats || {}).cache || {};
+    const row = document.createElement("tr");
+    row.appendChild(el("td", rid));
+    row.appendChild(el("td", fmtAge(r.last_seen_s) + " ago"));
+    row.appendChild(el("td", r.batches_done));
+    row.appendChild(el("td", r.runs_done));
+    row.appendChild(el("td", (r.runs_per_sec || 0).toFixed(2)));
+    row.appendChild(el("td", fmtRate(cache.snapshot)));
+    row.appendChild(el("td", fmtRate(cache.trace)));
+    body.appendChild(row);
+  }
+}
+
+function renderSpark(status) {
+  const svg = document.getElementById("spark");
+  const note = document.getElementById("spark-note");
+  const campaigns = Object.entries(status.campaigns || {});
+  let trend = [];
+  for (const [, c] of campaigns) {
+    if ((c.overlap_trend || []).length > trend.length)
+      trend = c.overlap_trend;
+  }
+  svg.replaceChildren();
+  if (trend.length < 2) { note.style.display = ""; return; }
+  note.style.display = "none";
+  const W = 640, H = 96, pad = 10;
+  const ys = trend.map(p => p[1]);
+  const pts = trend.map((p, i) => {
+    const x = pad + (W - 2 * pad) * (i / (trend.length - 1));
+    const y = H - pad - (H - 2 * pad) * Math.max(0, Math.min(1, p[1]));
+    return `${x.toFixed(1)},${y.toFixed(1)}`;
+  });
+  const line = document.createElementNS("http://www.w3.org/2000/svg",
+                                        "polyline");
+  line.setAttribute("points", pts.join(" "));
+  line.setAttribute("fill", "none");
+  line.setAttribute("stroke", "var(--series-1)");
+  line.setAttribute("stroke-width", "2");
+  line.setAttribute("stroke-linejoin", "round");
+  svg.appendChild(line);
+  const last = ys[ys.length - 1];
+  const label = document.createElementNS("http://www.w3.org/2000/svg",
+                                         "text");
+  label.setAttribute("x", W - pad);
+  label.setAttribute("y", 16);
+  label.setAttribute("text-anchor", "end");
+  label.setAttribute("fill", "var(--text-secondary)");
+  label.setAttribute("font-size", "12");
+  label.textContent = `latest ${last.toFixed(3)} · n=${ys.length}`;
+  svg.appendChild(label);
+}
+
+async function tick() {
+  const err = document.getElementById("error");
+  try {
+    const resp = await fetch((BROKER || "") + "/status");
+    const status = await resp.json();
+    err.style.display = "none";
+    document.getElementById("uptime").textContent = fmtAge(status.uptime_s);
+    document.getElementById("requeues").textContent = status.requeues || 0;
+    renderCards(status);
+    renderCampaigns(status);
+    renderRunners(status);
+    renderSpark(status);
+  } catch (e) {
+    err.textContent = "broker unreachable: " + e;
+    err.style.display = "";
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard(broker_url: str = "") -> str:
+    """The dashboard page, pointed at *broker_url* (empty = same
+    origin, i.e. the page is served by the broker itself)."""
+    return _PAGE.replace("__BROKER_URL__", json.dumps(broker_url.rstrip("/")))
+
+
+def serve_dashboard(broker_url: str, host: str = "127.0.0.1",
+                    port: int = 8800) -> None:
+    """Blocking entry behind ``python -m repro serve-dashboard``."""
+    page = render_dashboard(broker_url).encode()
+
+    class _Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+            pass
+
+        def do_GET(self):  # noqa: N802 - stdlib name
+            self.send_response(200)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(page)))
+            self.end_headers()
+            self.wfile.write(page)
+
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    shown = host if host != "0.0.0.0" else "127.0.0.1"  # noqa: S104
+    print(f"dashboard on http://{shown}:{httpd.server_address[1]} "
+          f"(polling {broker_url}/status)")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()

@@ -1,0 +1,349 @@
+"""SQLite index over the content-addressed result store.
+
+The :class:`~repro.campaign.store.ResultStore` is a directory of
+``<key>.json`` blobs -- perfect for cache hits, useless for questions
+like "every NOMAD run with 32 PCSHRs, sorted by IPC".  The index keeps
+one row per store key in ``<store>/index.db`` with the config knobs
+flattened into columns, selected headline metrics, and a status
+(``ok`` / ``failed`` / ``timeout`` / ``quarantined``), so
+``repro results --where scheme=nomad`` is a SQL query instead of a
+directory walk.
+
+The store stays the source of truth: rows are written through from
+``ResultStore.put``/``put_failure`` (when attached) or by the broker as
+records stream in, and :meth:`ResultIndex.sync_from_store` reconciles
+the index with whatever is on disk -- so an index built (or rebuilt)
+from the directory always agrees with the directory.  Dropping
+``index.db`` loses nothing but query speed.
+
+A schema-version row invalidates the whole file on mismatch, mirroring
+the store's simulator-version stamp.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+SCHEMA_VERSION = 1
+
+# Flat, queryable columns and where each value comes from.
+_CONFIG_COLUMNS = (
+    ("scheme", "TEXT"),
+    ("workload", "TEXT"),
+    ("seed", "INTEGER"),
+    ("num_mem_ops", "INTEGER"),
+    ("num_cores", "INTEGER"),
+    ("dc_megabytes", "INTEGER"),
+    ("prewarm", "INTEGER"),
+)
+_METRIC_COLUMNS = (
+    ("ipc", "REAL"),
+    ("dc_access_time", "REAL"),
+    ("os_stall_ratio", "REAL"),
+    ("runtime_cycles", "INTEGER"),
+    ("instructions", "INTEGER"),
+)
+
+#: Keys accepted by ``--where`` / ``query(where=...)``.
+QUERYABLE = tuple(
+    [name for name, _ in _CONFIG_COLUMNS]
+    + [name for name, _ in _METRIC_COLUMNS]
+    + ["status", "failure_kind", "version", "key"]
+)
+
+_INT_COLUMNS = frozenset(
+    name for name, kind in (*_CONFIG_COLUMNS, *_METRIC_COLUMNS)
+    if kind == "INTEGER"
+)
+_REAL_COLUMNS = frozenset(
+    name for name, kind in (*_CONFIG_COLUMNS, *_METRIC_COLUMNS)
+    if kind == "REAL"
+)
+
+
+def _coerce(column: str, value: str):
+    if column in _INT_COLUMNS:
+        return int(value)
+    if column in _REAL_COLUMNS:
+        return float(value)
+    return value
+
+
+def parse_where(pairs: Sequence[str]) -> Dict[str, object]:
+    """``["scheme=nomad", "seed=2"]`` -> typed filter dict.
+
+    Raises ``ValueError`` for unknown columns or malformed pairs, with
+    the allowed column list in the message (CLI surfaces it verbatim).
+    """
+    out: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(
+                f"bad --where {pair!r}: expected column=value"
+            )
+        column, value = pair.split("=", 1)
+        column = column.strip()
+        if column not in QUERYABLE:
+            raise ValueError(
+                f"unknown --where column {column!r}; one of: "
+                + ", ".join(QUERYABLE)
+            )
+        try:
+            out[column] = _coerce(column, value.strip())
+        except ValueError:
+            raise ValueError(
+                f"bad --where value {value!r} for numeric column {column!r}"
+            )
+    return out
+
+
+class ResultIndex:
+    """Queryable SQLite mirror of a result-store directory."""
+
+    def __init__(self, root: Union[str, Path],
+                 db_name: str = "index.db"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.db_path = self.root / db_name
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            self.db_path, check_same_thread=False, isolation_level=None
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._init_schema()
+
+    # -- schema ------------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        with self._lock:
+            cur = self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table' "
+                "AND name='meta'"
+            )
+            if cur.fetchone() is not None:
+                row = self._conn.execute(
+                    "SELECT v FROM meta WHERE k='schema_version'"
+                ).fetchone()
+                if row is not None and int(row["v"]) == SCHEMA_VERSION:
+                    return
+                # Any mismatch: the index is a cache -- drop and rebuild.
+                self._conn.executescript(
+                    "DROP TABLE IF EXISTS results; DROP TABLE IF EXISTS meta;"
+                )
+            columns = ",\n  ".join(
+                f"{name} {kind}"
+                for name, kind in (*_CONFIG_COLUMNS, *_METRIC_COLUMNS)
+            )
+            self._conn.executescript(
+                f"""
+                CREATE TABLE results (
+                  key TEXT PRIMARY KEY,
+                  version TEXT NOT NULL,
+                  status TEXT NOT NULL,
+                  failure_kind TEXT NOT NULL DEFAULT '',
+                  error TEXT NOT NULL DEFAULT '',
+                  {columns},
+                  knobs TEXT,
+                  metrics TEXT,
+                  updated_at REAL
+                );
+                CREATE INDEX idx_results_scheme ON results(scheme);
+                CREATE INDEX idx_results_workload ON results(workload);
+                CREATE INDEX idx_results_status ON results(status);
+                CREATE TABLE meta (k TEXT PRIMARY KEY, v TEXT);
+                """
+            )
+            self._conn.execute(
+                "INSERT INTO meta (k, v) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- ingest ------------------------------------------------------------
+
+    @staticmethod
+    def _config_values(cfg: dict) -> Tuple:
+        return (
+            cfg.get("scheme"),
+            cfg.get("workload"),
+            cfg.get("seed"),
+            cfg.get("num_mem_ops"),
+            cfg.get("num_cores"),
+            cfg.get("dc_megabytes"),
+            int(bool(cfg.get("prewarm", True))),
+        )
+
+    @staticmethod
+    def _knobs(cfg: dict) -> str:
+        nested = {
+            k: cfg.get(k)
+            for k in ("nomad_cfg", "tdc_cfg", "tid_cfg")
+            if cfg.get(k) is not None
+        }
+        return json.dumps(nested, sort_keys=True)
+
+    def _upsert(self, key: str, version: str, status: str, cfg: dict,
+                failure_kind: str = "", error: str = "",
+                result: Optional[dict] = None) -> None:
+        metric_values = tuple(
+            (result or {}).get(name) for name, _ in _METRIC_COLUMNS
+        )
+        config_names = ", ".join(name for name, _ in _CONFIG_COLUMNS)
+        metric_names = ", ".join(name for name, _ in _METRIC_COLUMNS)
+        placeholders = ", ".join(
+            "?" * (len(_CONFIG_COLUMNS) + len(_METRIC_COLUMNS))
+        )
+        with self._lock:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO results "
+                f"(key, version, status, failure_kind, error, "
+                f"{config_names}, {metric_names}, knobs, metrics, updated_at) "
+                f"VALUES (?, ?, ?, ?, ?, {placeholders}, ?, ?, ?)",
+                (
+                    key, version, status, failure_kind, error,
+                    *self._config_values(cfg), *metric_values,
+                    self._knobs(cfg),
+                    json.dumps(result, sort_keys=True) if result else None,
+                    time.time(),
+                ),
+            )
+
+    def ingest_result(self, key: str, cfg: dict, result: dict,
+                      version: str) -> None:
+        """Record a completed run (status ``ok``)."""
+        self._upsert(key, version, "ok", cfg, result=result)
+
+    def ingest_failure(self, key: str, cfg: dict, failure: dict,
+                       version: str, status: str = "quarantined") -> None:
+        """Record a quarantined (or transiently failed) run."""
+        self._upsert(
+            key, version, status, cfg,
+            failure_kind=str(failure.get("failure_kind", "")),
+            error=str(failure.get("error", "")),
+        )
+
+    def forget(self, key: str) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+
+    # -- sync --------------------------------------------------------------
+
+    def sync_from_store(self, store) -> int:
+        """Reconcile with the store directory; returns rows added.
+
+        Only keys missing from the index are read (store entries are
+        immutable once written), so repeated syncs are cheap.  Rows the
+        directory no longer backs are left alone for results, but a
+        quarantine row whose file vanished is downgraded by the next
+        explicit ingest.
+        """
+        with self._lock:
+            known = {
+                row["key"]
+                for row in self._conn.execute("SELECT key FROM results")
+            }
+        added = 0
+        for key, payload in store.iter_entries():
+            if key in known:
+                continue
+            self.ingest_result(
+                key, payload.get("config") or {},
+                payload.get("result") or {},
+                version=str(payload.get("version", "")),
+            )
+            added += 1
+        for key, payload in store.iter_failures():
+            if key in known:
+                continue
+            self.ingest_failure(
+                key, payload.get("config") or {},
+                payload.get("failure") or {},
+                version=str(payload.get("version", "")),
+            )
+            added += 1
+        return added
+
+    # -- query -------------------------------------------------------------
+
+    def _select(self, where: Optional[Dict[str, object]],
+                status: Optional[Sequence[str]],
+                version: Optional[str]) -> Tuple[str, List[object]]:
+        clauses: List[str] = []
+        params: List[object] = []
+        for column, value in (where or {}).items():
+            if column not in QUERYABLE:
+                raise ValueError(f"unknown query column {column!r}")
+            clauses.append(f"{column} = ?")
+            params.append(value)
+        if status:
+            clauses.append(
+                "status IN (%s)" % ", ".join("?" * len(status))
+            )
+            params.extend(status)
+        if version is not None:
+            clauses.append("version = ?")
+            params.append(version)
+        sql = " AND ".join(clauses)
+        return (f" WHERE {sql}" if sql else ""), params
+
+    def query(
+        self,
+        where: Optional[Dict[str, object]] = None,
+        status: Optional[Sequence[str]] = None,
+        version: Optional[str] = None,
+        limit: Optional[int] = None,
+        order_by: str = "scheme, workload, seed, key",
+    ) -> List[Dict[str, object]]:
+        """Matching rows as plain dicts (``metrics``/``knobs`` decoded)."""
+        clause, params = self._select(where, status, version)
+        sql = f"SELECT * FROM results{clause} ORDER BY {order_by}"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        out = []
+        for row in rows:
+            d = dict(row)
+            for blob in ("metrics", "knobs"):
+                if d.get(blob):
+                    try:
+                        d[blob] = json.loads(d[blob])
+                    except ValueError:
+                        d[blob] = None
+            out.append(d)
+        return out
+
+    def count(
+        self,
+        where: Optional[Dict[str, object]] = None,
+        status: Optional[Sequence[str]] = None,
+        version: Optional[str] = None,
+    ) -> int:
+        clause, params = self._select(where, status, version)
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT COUNT(*) AS n FROM results{clause}", params
+            ).fetchone()
+        return int(row["n"])
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM results GROUP BY status"
+            ).fetchall()
+        by_status = {row["status"]: int(row["n"]) for row in rows}
+        return {
+            "rows": sum(by_status.values()),
+            "by_status": by_status,
+            "db": str(self.db_path),
+            "schema_version": SCHEMA_VERSION,
+        }

@@ -1,0 +1,196 @@
+"""Pull-based campaign runner (``python -m repro runner``).
+
+A runner owns no queue state: it claims leased batches from the broker,
+executes them through the *existing* :func:`repro.campaign.run_campaign`
+machinery -- so a distributed run inherits the pool's crash/hang retry
+logic, the deterministic-failure confirmation pass, and PR 5's
+same-snapshot-key batching (the broker groups batches by snapshot key,
+and every fork amortizes inside this runner's worker processes) -- then
+streams the resulting records back and moves on.
+
+Liveness is heartbeats: while a batch runs, campaign ``progress``
+events are forwarded to the broker as telemetry heartbeats (throughput,
+snapshot/trace cache hit deltas, recent overlap fractions), which also
+renew the runner's leases.  A runner that dies mid-batch simply stops
+heartbeating; the broker expires the lease and requeues the batch
+elsewhere.  All broker I/O retries with the shared jittered-exponential
+:class:`~repro.campaign.pool.Backoff` before giving up.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Callable, Optional
+
+from repro.campaign.executor import run_campaign
+from repro.harness.runner import cache_counts, cache_delta
+from repro.service.protocol import (
+    BrokerClient,
+    BrokerUnreachable,
+    record_to_item,
+)
+from repro.telemetry.heartbeat import HeartbeatStats, make_heartbeat
+
+
+def default_runner_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _trace_cache_pointed_at:
+    """Point the disk trace-cache layer at the batch's shared dir.
+
+    Restores the previous setting on exit: runner loops can run as
+    threads inside a larger process (tests, embedded local services),
+    and the trace-cache layer is process-global state.
+    """
+
+    def __init__(self, meta: dict):
+        self.trace_dir = (meta or {}).get("trace_dir")
+        self.prev = None
+
+    def __enter__(self):
+        if self.trace_dir:
+            from repro.workloads.synthetic import (
+                configure_trace_cache,
+                trace_cache_stats,
+            )
+
+            self.prev = trace_cache_stats()["disk_dir"] or None
+            configure_trace_cache(disk_dir=self.trace_dir)
+        return self
+
+    def __exit__(self, *exc):
+        if self.trace_dir:
+            from repro.workloads.synthetic import configure_trace_cache
+
+            configure_trace_cache(disk_dir=self.prev)
+        return False
+
+
+def execute_batch(batch: dict, jobs: int = 1,
+                  on_event: Optional[Callable[[str, dict], None]] = None):
+    """Run one claimed batch; returns ``(items, cache_stats_delta)``.
+
+    The batch's configs go through :func:`run_campaign` with *no*
+    result store (the broker owns the store; a runner only computes),
+    so quarantine classification happens here -- a deterministic
+    failure is reported with status ``quarantined`` and the broker does
+    the actual ``put_failure``.
+    """
+    from repro.harness.runner import RunConfig
+
+    meta = dict(batch.get("meta") or {})
+    configs = [RunConfig.from_dict(c) for c in batch["configs"]]
+    before = cache_counts()
+    with _trace_cache_pointed_at(meta):
+        campaign = run_campaign(
+            configs,
+            jobs=jobs,
+            store=None,
+            timeout=meta.get("timeout"),
+            retries=int(meta.get("retries", 1)),
+            guard=meta.get("guard"),
+            telemetry=meta.get("telemetry"),
+            trace_dir=meta.get("trace_dir"),
+            progress=on_event,
+        )
+    # The summary's snapshot/trace counters are this process's
+    # cumulative counts plus any pool-worker deltas; subtracting the
+    # pre-batch snapshot yields exactly this batch's contribution.
+    summary_counts = {
+        "snapshot": {
+            k: int(campaign.summary.snapshot.get(k, 0))
+            for k in before["snapshot"]
+        },
+        "trace": {
+            k: int(campaign.summary.trace.get(k, 0))
+            for k in before["trace"]
+        },
+    }
+    delta = cache_delta(before, summary_counts)
+    indices = batch["indices"]
+    items = [
+        record_to_item(rec, indices[rec.index]) for rec in campaign.records
+    ]
+    return items, delta
+
+
+def runner_loop(
+    broker: str,
+    jobs: int = 1,
+    runner_id: Optional[str] = None,
+    poll_s: float = 1.0,
+    exit_when_idle: Optional[float] = None,
+    max_batches: Optional[int] = None,
+    client: Optional[BrokerClient] = None,
+    verbose: bool = False,
+) -> int:
+    """Claim-execute-report until stopped; returns batches completed.
+
+    ``exit_when_idle`` (seconds) ends the loop after the broker has had
+    no work for that long -- CI and embedded local services use it;
+    a long-lived fleet runner omits it and polls forever.
+    ``max_batches`` bounds the run for tests.
+    """
+    client = client or BrokerClient(broker)
+    rid = runner_id or default_runner_id()
+    hb = HeartbeatStats()
+    done = 0
+    idle_since: Optional[float] = None
+
+    def _say(msg: str) -> None:
+        if verbose:
+            print(f"runner {rid}: {msg}", flush=True)
+
+    while max_batches is None or done < max_batches:
+        try:
+            grant = client.claim(rid, max_batches=1)
+        except BrokerUnreachable:
+            if exit_when_idle is not None:
+                # An embedded/CI runner whose broker went away is done.
+                _say("broker unreachable; exiting")
+                return done
+            continue  # claim() already backed off between attempts
+        batches = grant.get("batches", [])
+        if not batches:
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if (exit_when_idle is not None
+                    and now - idle_since >= exit_when_idle):
+                _say(f"idle for {exit_when_idle}s; exiting")
+                return done
+            time.sleep(poll_s)
+            continue
+        idle_since = None
+        for batch in batches:
+            _say(f"claimed batch {batch['batch_id']} "
+                 f"({len(batch['configs'])} configs)")
+            t0 = time.monotonic()
+
+            def on_event(kind: str, info: dict) -> None:
+                # Forward campaign progress as a broker heartbeat; a
+                # dropped heartbeat is fine (lease grace absorbs it).
+                hb.observe(completed=info.get("completed", 0))
+                client.heartbeat(rid, make_heartbeat(
+                    rid, info, cache_counts(), hb
+                ))
+
+            items, delta = execute_batch(batch, jobs=jobs, on_event=on_event)
+            for item in items:
+                overlap = (item.get("telemetry") or {}).get(
+                    "overlap_fraction"
+                )
+                if overlap is not None:
+                    hb.observe_overlap(overlap)
+            answer = client.complete(
+                rid, batch["campaign_id"], batch["batch_id"], items,
+                cache_stats=delta,
+            )
+            done += 1
+            _say(f"batch {batch['batch_id']} done: {len(items)} records "
+                 f"in {time.monotonic() - t0:.2f}s "
+                 f"(accepted={answer.get('accepted')})")
+    return done

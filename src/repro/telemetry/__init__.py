@@ -23,11 +23,14 @@ from repro.telemetry.config import (
     TelemetryConfig,
 )
 from repro.telemetry.core import Telemetry, as_telemetry
+from repro.telemetry.heartbeat import HeartbeatStats, make_heartbeat
 
 __all__ = [
     "ALL_CATEGORIES",
     "DEFAULT_CAMPAIGN_CATEGORIES",
+    "HeartbeatStats",
     "Telemetry",
     "TelemetryConfig",
     "as_telemetry",
+    "make_heartbeat",
 ]

@@ -1,0 +1,89 @@
+"""Heartbeat payloads: campaign progress as transportable telemetry.
+
+PR 4 gave pool campaigns live ``done``/``heartbeat`` progress events;
+the service layer needs the same signal to travel: a runner forwards
+each event to the broker as a small JSON payload that carries rolling
+throughput, the amortization-cache counters, and the recent
+overlap-fraction samples the dashboard trends.  This module is the one
+place that payload shape is defined, so the stderr progress printer,
+the runner transport, and the dashboard stay in agreement.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+#: Completion timestamps kept for the rolling throughput window.
+THROUGHPUT_WINDOW = 64
+#: Overlap samples carried per heartbeat.
+OVERLAP_WINDOW = 32
+
+
+class HeartbeatStats:
+    """Rolling runner-side state folded into each heartbeat."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._completions: Deque[Tuple[float, int]] = deque(
+            maxlen=THROUGHPUT_WINDOW
+        )
+        self._overlaps: Deque[float] = deque(maxlen=OVERLAP_WINDOW)
+        self.runs_observed = 0
+
+    def observe(self, completed: int) -> None:
+        """Record a progress event's cumulative completion count."""
+        self._completions.append((self._clock(), int(completed)))
+        self.runs_observed = max(self.runs_observed, int(completed))
+
+    def observe_overlap(self, overlap_fraction: float) -> None:
+        self._overlaps.append(float(overlap_fraction))
+
+    def runs_per_sec(self) -> float:
+        """Throughput over the retained completion window."""
+        if len(self._completions) < 2:
+            return 0.0
+        (t0, c0), (t1, c1) = self._completions[0], self._completions[-1]
+        if t1 <= t0 or c1 <= c0:
+            return 0.0
+        return (c1 - c0) / (t1 - t0)
+
+    def recent_overlaps(self) -> List[float]:
+        return list(self._overlaps)
+
+
+def make_heartbeat(
+    runner_id: str,
+    progress: Dict[str, object],
+    cache_counts: Dict[str, Dict[str, int]],
+    stats: Optional[HeartbeatStats] = None,
+) -> Dict[str, object]:
+    """The canonical heartbeat payload.
+
+    ``progress`` is a campaign progress-event info dict
+    (``completed``/``outstanding``/``total``); ``cache_counts`` the
+    transportable :func:`repro.harness.runner.cache_counts` sections.
+    """
+    payload: Dict[str, object] = {
+        "runner_id": runner_id,
+        "completed": int(progress.get("completed", 0)),
+        "outstanding": int(progress.get("outstanding", 0)),
+        "total": int(progress.get("total", 0)),
+        "cache": {k: dict(v) for k, v in (cache_counts or {}).items()},
+    }
+    if stats is not None:
+        payload["runs_per_sec"] = round(stats.runs_per_sec(), 4)
+        payload["overlap_recent"] = [
+            round(v, 4) for v in stats.recent_overlaps()
+        ]
+    return payload
+
+
+def hit_rate(counts: Dict[str, int]) -> Optional[float]:
+    """``hits / (hits + misses)`` of one cache section, or None."""
+    hits = int(counts.get("hits", 0))
+    misses = int(counts.get("misses", 0))
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)

@@ -1,5 +1,7 @@
 """Robustness layer: crashes, hangs, retries, deterministic merge order."""
 
+import pytest
+
 from repro.campaign.pool import CRASHED, ERROR, OK, TIMEOUT, map_with_retries
 
 from tests.campaign import workers
@@ -79,3 +81,76 @@ def test_heartbeat_does_not_mask_the_watchdog():
     )
     assert outcomes[0].status == TIMEOUT
     assert "heartbeat" in events
+
+
+# -- jittered exponential backoff (shared with the service layer) -----------
+
+def test_backoff_grows_exponentially_without_jitter():
+    from repro.campaign.pool import Backoff
+
+    b = Backoff(base=0.1, factor=2.0, cap=30.0, jitter=0.0)
+    assert b.delay(1) == pytest.approx(0.1)
+    assert b.delay(2) == pytest.approx(0.2)
+    assert b.delay(3) == pytest.approx(0.4)
+    assert b.delay(5) == pytest.approx(1.6)
+
+
+def test_backoff_caps():
+    from repro.campaign.pool import Backoff
+
+    b = Backoff(base=1.0, factor=2.0, cap=5.0, jitter=0.0)
+    assert b.delay(10) == pytest.approx(5.0)
+    assert b.delay(100) == pytest.approx(5.0)  # no overflow blowup
+
+
+def test_backoff_jitter_stays_in_band():
+    from repro.campaign.pool import Backoff
+
+    b = Backoff(base=1.0, factor=2.0, cap=30.0, jitter=0.5)
+    # rng=0 -> full jitter reduction; rng=1 -> raw delay.
+    assert b.delay(1, rng=lambda: 0.0) == pytest.approx(0.5)
+    assert b.delay(1, rng=lambda: 1.0) == pytest.approx(1.0)
+    import random
+    r = random.Random(7)
+    for attempt in (1, 2, 3, 4):
+        raw = min(30.0, 1.0 * 2.0 ** (attempt - 1))
+        for _ in range(50):
+            d = b.delay(attempt, rng=r.random)
+            assert raw * 0.5 <= d <= raw
+
+
+def test_backoff_sleep_uses_injected_sleeper():
+    from repro.campaign.pool import Backoff
+
+    slept = []
+    b = Backoff(base=0.2, jitter=0.0)
+    returned = b.sleep(2, sleep=slept.append)
+    assert slept == [pytest.approx(0.4)]
+    assert returned == pytest.approx(0.4)
+
+
+def test_map_with_retries_backs_off_between_retry_rounds(tmp_path):
+    from repro.campaign.pool import Backoff
+
+    class CountingBackoff(Backoff):
+        calls = []  # class attr: instances are frozen dataclasses
+
+        def sleep(self, attempt, sleep=None):
+            CountingBackoff.calls.append(attempt)
+            return 0.0
+
+    CountingBackoff.calls = []
+    marker = str(tmp_path / "attempted.marker")
+    outcomes = map_with_retries(
+        workers.crash_once, [marker], jobs=2, retries=1,
+        backoff=CountingBackoff(base=0.01),
+    )
+    assert outcomes[0].status == OK
+    assert CountingBackoff.calls == [1]  # one backoff before the retry
+
+
+def test_map_with_retries_accepts_no_backoff():
+    outcomes = map_with_retries(
+        workers.square, [1, 2], jobs=2, backoff=None
+    )
+    assert [o.value for o in outcomes] == [1, 4]

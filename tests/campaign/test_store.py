@@ -70,3 +70,83 @@ def test_mismatched_config_payload_degrades_to_miss(tmp_path):
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(path.read_text())
     assert store.get(other) is None
+
+
+# -- quarantine round-trip + atomic writes (service-layer guarantees) -------
+
+FAILURE = {"failure_kind": "crash", "error": "boom",
+           "bundle_path": "", "traceback": "Traceback..."}
+
+
+def test_quarantine_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get_failure(SMALL) is None  # cold
+    store.put_failure(SMALL, FAILURE)
+    assert store.get_failure(SMALL) == FAILURE
+    # Quarantine is keyed like results: other configs stay clean.
+    assert store.get_failure(SMALL.with_(seed=2)) is None
+    # A quarantine record never answers a result lookup.
+    assert store.get(SMALL) is None
+
+
+def test_quarantine_version_mismatch_invalidates(tmp_path):
+    old = ResultStore(tmp_path, version="1.0.0")
+    old.put_failure(SMALL, FAILURE)
+    new = ResultStore(tmp_path, version="2.0.0")
+    # New simulator version: the pin no longer applies (the failure may
+    # be fixed), but the old version still sees it.
+    assert new.get_failure(SMALL) is None
+    assert old.get_failure(SMALL) == FAILURE
+
+
+def test_corrupted_quarantine_json_degrades_to_miss_and_heals(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.put_failure(SMALL, FAILURE)
+    path.write_text('{"version": "x", "config"')  # torn write simulation
+    assert store.get_failure(SMALL) is None  # miss, not a crash
+    # A campaign prescan now re-runs the config; re-quarantine heals it.
+    store.put_failure(SMALL, FAILURE)
+    assert store.get_failure(SMALL) == FAILURE
+
+
+def test_quarantine_skip_on_resume(tmp_path):
+    from repro.campaign.executor import prescan
+
+    store = ResultStore(tmp_path)
+    store.put_failure(SMALL, FAILURE)
+    cached = SMALL.with_(seed=2)
+    store.put(cached, _result())
+    fresh = SMALL.with_(seed=3)
+
+    configs = [SMALL, cached, fresh]
+    records = [None] * 3
+    pending = prescan(configs, records, store)
+    assert pending == [2]  # only the un-stored config re-runs
+    assert records[0].status == "quarantined"
+    assert records[0].source == "store"
+    assert records[0].failure_kind == "crash"
+    assert records[1].status == "cached"
+    assert records[2] is None
+
+
+def test_atomic_writes_leave_no_temp_litter(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(SMALL, _result())
+    store.put_failure(SMALL.with_(seed=2), FAILURE)
+    leftovers = [p for p in tmp_path.rglob("*.tmp")]
+    assert leftovers == []
+
+
+def test_atomic_write_json_failure_cleans_up(tmp_path):
+    from repro.campaign.store import atomic_write_json
+
+    class Unserializable:
+        pass
+
+    target = tmp_path / "x.json"
+    try:
+        atomic_write_json(target, {"bad": Unserializable()})
+    except TypeError:
+        pass
+    assert not target.exists()
+    assert list(tmp_path.glob("*.tmp")) == []

@@ -1,0 +1,73 @@
+"""Broker HTTP surface: dashboard page, status endpoint, error paths."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.broker import Broker, BrokerServer
+from repro.service.dashboard import render_dashboard
+from repro.service.protocol import PROTOCOL_VERSION
+
+
+@pytest.fixture
+def server(tmp_path):
+    broker = Broker(tmp_path / "store")
+    with BrokerServer(broker) as srv:
+        yield srv
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers, resp.read().decode()
+
+
+def test_render_dashboard_embeds_broker_url():
+    html = render_dashboard("http://broker:8765")
+    assert "__BROKER_URL__" not in html
+    assert '"http://broker:8765"' in html
+    assert "<!DOCTYPE html>" in html
+    # Same-origin mode: empty string, the page falls back to its origin.
+    assert '""' in render_dashboard("")
+    # Trailing slash would double up with the /status path.
+    assert '"http://b:1"' in render_dashboard("http://b:1/")
+
+
+def test_broker_serves_dashboard(server):
+    for path in ("/", "/dashboard"):
+        status, headers, body = _get(server.url + path)
+        assert status == 200
+        assert "text/html" in headers["Content-Type"]
+        assert "repro campaign service" in body
+        assert "/status" in body  # the page polls the broker
+
+
+def test_status_endpoint_shape(server):
+    status, headers, body = _get(server.url + "/status")
+    assert status == 200
+    assert headers["Access-Control-Allow-Origin"] == "*"
+    payload = json.loads(body)
+    assert payload["protocol"] == PROTOCOL_VERSION
+    assert payload["campaigns"] == {}
+    assert payload["runners"] == {}
+    assert "uptime_s" in payload and "store" in payload
+
+
+def test_unknown_endpoint_is_404(server):
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        _get(server.url + "/nope")
+    assert exc.value.code == 404
+
+
+def test_post_with_wrong_protocol_is_rejected(server):
+    req = urllib.request.Request(
+        server.url + "/claim",
+        data=json.dumps({"protocol": 99, "runner_id": "r1"}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        urllib.request.urlopen(req, timeout=10)
+    assert exc.value.code == 400
+    detail = json.loads(exc.value.read().decode())
+    assert "protocol version mismatch" in detail["error"]

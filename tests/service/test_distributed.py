@@ -1,0 +1,226 @@
+"""End-to-end service tests: broker HTTP server + runner loops.
+
+Runners execute as threads in this process (``run_campaign`` with
+``jobs=1`` stays in-process), which keeps these fast while still going
+through the real HTTP protocol, lease machinery, and store ingestion.
+The CI ``service-smoke`` job covers the subprocess-runner path.
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign import ResultStore, run_campaign
+from repro.harness.runner import RunConfig, clear_cache
+from repro.service.broker import Broker, BrokerServer
+from repro.service.coordinator import run_distributed_campaign
+from repro.service.protocol import BrokerClient, BrokerError, batch_id_for
+from repro.service.runner import runner_loop
+
+BASE = RunConfig(scheme="baseline", workload="sop", num_mem_ops=300,
+                 num_cores=2, dc_megabytes=8)
+GRID = [BASE.with_(seed=s) for s in (1, 2, 3, 4)]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    # Concurrent runner *threads* interleave execute_batch's disk-layer
+    # save/restore nondeterministically (real runners are processes),
+    # so pin the host process's trace-cache config here too.
+    from repro.workloads.synthetic import (
+        configure_trace_cache,
+        trace_cache_stats,
+    )
+
+    disk_dir = trace_cache_stats()["disk_dir"] or None
+    clear_cache()
+    yield
+    clear_cache()
+    configure_trace_cache(disk_dir=disk_dir)
+
+
+def _start_runners(url, count=2, **kwargs):
+    kwargs.setdefault("poll_s", 0.05)
+    kwargs.setdefault("exit_when_idle", 1.0)
+    threads = [
+        threading.Thread(
+            target=runner_loop, args=(url,),
+            kwargs={"runner_id": f"t{i}", **kwargs}, daemon=True,
+        )
+        for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    return threads
+
+
+def test_distributed_campaign_matches_serial_bitwise(tmp_path):
+    serial_store = ResultStore(tmp_path / "serial")
+    serial = run_campaign(GRID, jobs=1, store=serial_store, progress=False)
+    assert serial.ok
+    clear_cache()  # the distributed path must simulate, not hit the memo
+
+    store = ResultStore(tmp_path / "dist")
+    broker = Broker(store.root, lease_s=30.0)
+    with BrokerServer(broker) as server:
+        threads = _start_runners(server.url, count=2)
+        campaign = run_distributed_campaign(
+            GRID, server.url, store, jobs=2, max_wait_s=120.0,
+            progress=False,
+        )
+        for t in threads:
+            t.join(timeout=30)
+    assert campaign.ok
+    assert len(campaign.records) == len(GRID)
+    # Same configs, same results, bit-for-bit.
+    for ser, dist in zip(serial.records, campaign.records):
+        assert dist.config == ser.config
+        assert dist.result.to_dict() == ser.result.to_dict()
+    # And the store files agree too (the acceptance bar for CI).
+    serial_entries = dict(serial_store.iter_entries())
+    dist_entries = dict(store.iter_entries())
+    assert serial_entries.keys() == dist_entries.keys()
+    for key in serial_entries:
+        assert serial_entries[key]["result"] == dist_entries[key]["result"]
+
+
+def test_dead_runner_lease_requeue_converges_without_duplicates(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    broker = Broker(store.root, lease_s=1.0)  # short lease: fast requeue
+    with BrokerServer(broker) as server:
+        cid = "kill-test"
+        payloads = [c.to_dict() for c in GRID[:2]]
+        client = BrokerClient(server.url)
+        client.enqueue(cid, [{
+            "batch_id": batch_id_for(cid, payloads),
+            "indices": [0, 1],
+            "configs": payloads,
+        }], {}, manifest=payloads)
+
+        # A runner claims the batch and dies (never completes, never
+        # heartbeats) -- the lease must expire and a live runner must
+        # pick the batch up and finish the campaign.
+        dead = client.claim("r-dead")["batches"]
+        assert len(dead) == 1
+
+        threads = _start_runners(server.url, count=1, exit_when_idle=3.0)
+        deadline = 60.0
+        import time
+        t0 = time.monotonic()
+        while time.monotonic() - t0 < deadline:
+            status = client.status(cid)["campaigns"][cid]
+            if status["done"] == status["batches"]:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("requeued batch never completed")
+        for t in threads:
+            t.join(timeout=30)
+
+        status = client.status(cid)["campaigns"][cid]
+        records = client.records(cid)
+    # Zero lost, zero duplicated.
+    assert status["runs_done"] == 2
+    assert sorted(r["index"] for r in records) == [0, 1]
+    assert broker.requeues >= 1
+    assert all(r["status"] in ("completed", "cached") for r in records)
+    assert len(store) == 2
+
+
+def test_resume_after_broker_restart_runs_only_missing(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    cid = "resume-test"
+
+    broker = Broker(store.root, lease_s=30.0)
+    with BrokerServer(broker) as server:
+        threads = _start_runners(server.url, count=2)
+        first = run_distributed_campaign(
+            GRID, server.url, store, campaign_id=cid, jobs=2,
+            max_wait_s=120.0, progress=False,
+        )
+        for t in threads:
+            t.join(timeout=30)
+    assert first.ok and len(store) == len(GRID)
+
+    # Lose two results (e.g. a partial store copy); the broker process
+    # is gone -- a fresh one only has the persisted manifest + store.
+    removed = 0
+    for cfg in GRID[:2]:
+        store.path_for(cfg).unlink()
+        removed += 1
+    clear_cache()
+
+    broker2 = Broker(store.root, lease_s=30.0)
+    with BrokerServer(broker2) as server:
+        threads = _start_runners(server.url, count=2)
+        resumed = run_distributed_campaign(
+            None, server.url, store, campaign_id=cid, resume=True,
+            jobs=2, max_wait_s=120.0, progress=False,
+        )
+        for t in threads:
+            t.join(timeout=30)
+    assert resumed.ok
+    assert len(resumed.records) == len(GRID)
+    # Only the missing configs were re-enqueued and re-simulated.
+    re_run = [r for r in resumed.records if r.status == "completed"]
+    from_store = [r for r in resumed.records if r.source == "store"]
+    assert len(re_run) == removed
+    assert len(from_store) == len(GRID) - removed
+    assert len(store) == len(GRID)
+
+
+def test_resume_with_nothing_pending_never_needs_runners(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    cid = "noop-resume"
+    broker = Broker(store.root)
+    with BrokerServer(broker) as server:
+        threads = _start_runners(server.url, count=1)
+        run_distributed_campaign(
+            GRID[:2], server.url, store, campaign_id=cid, jobs=1,
+            max_wait_s=120.0, progress=False,
+        )
+        for t in threads:
+            t.join(timeout=30)
+
+    # Fresh broker, no runners at all: everything resolves by prescan.
+    # (Drop the in-process memo so the hits provably come from disk.)
+    clear_cache()
+    broker2 = Broker(store.root)
+    with BrokerServer(broker2) as server:
+        resumed = run_distributed_campaign(
+            None, server.url, store, campaign_id=cid, resume=True,
+            max_wait_s=10.0, progress=False,
+        )
+    assert resumed.ok
+    assert all(r.source == "store" for r in resumed.records)
+
+
+def test_runner_restores_trace_cache_config(tmp_path):
+    # Runner loops may execute as threads inside a larger process; the
+    # disk trace-cache layer they point at the campaign store must not
+    # leak into the host process after the batch finishes.
+    from repro.service.runner import execute_batch
+    from repro.service.protocol import batch_id_for
+    from repro.workloads.synthetic import trace_cache_stats
+
+    before = trace_cache_stats()["disk_dir"]
+    payloads = [GRID[0].to_dict()]
+    items, _ = execute_batch({
+        "batch_id": batch_id_for("t", payloads),
+        "campaign_id": "t",
+        "indices": [0],
+        "configs": payloads,
+        "meta": {"trace_dir": str(tmp_path / "traces")},
+    })
+    assert len(items) == 1 and items[0]["status"] == "completed"
+    assert trace_cache_stats()["disk_dir"] == before
+
+
+def test_resume_unknown_campaign_fails_loudly(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    broker = Broker(store.root)
+    with BrokerServer(broker) as server:
+        with pytest.raises(BrokerError, match="unknown campaign"):
+            run_distributed_campaign(
+                None, server.url, store, campaign_id="ghost", resume=True,
+            )

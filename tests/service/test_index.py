@@ -1,0 +1,163 @@
+"""SQLite result index: ingest, query, views, sync, invalidation."""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.harness.runner import RunConfig, run_workload
+from repro.service.index import QUERYABLE, ResultIndex, parse_where
+
+CFG = RunConfig(scheme="baseline", workload="sop", num_mem_ops=300,
+                num_cores=2, dc_megabytes=8)
+
+
+def _ingest(index, store, cfg, ipc=0.5):
+    index.ingest_result(
+        store.key(cfg), cfg.to_dict(),
+        {"ipc": ipc, "dc_access_time": 100.0, "os_stall_ratio": 0.1,
+         "runtime_cycles": 1000, "instructions": 500},
+        version=store.version,
+    )
+
+
+def test_ingest_and_query_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    index = ResultIndex(tmp_path)
+    _ingest(index, store, CFG, ipc=0.42)
+    rows = index.query({"scheme": "baseline"})
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["key"] == store.key(CFG)
+    assert row["status"] == "ok"
+    assert row["workload"] == "sop"
+    assert row["ipc"] == pytest.approx(0.42)
+    assert row["metrics"]["runtime_cycles"] == 1000
+    assert index.count() == 1
+    assert index.count({"scheme": "nomad"}) == 0
+
+
+def test_reingest_replaces_not_duplicates(tmp_path):
+    store = ResultStore(tmp_path)
+    index = ResultIndex(tmp_path)
+    _ingest(index, store, CFG, ipc=0.1)
+    _ingest(index, store, CFG, ipc=0.2)
+    rows = index.query()
+    assert len(rows) == 1
+    assert rows[0]["ipc"] == pytest.approx(0.2)
+
+
+def test_failure_views(tmp_path):
+    store = ResultStore(tmp_path)
+    index = ResultIndex(tmp_path)
+    _ingest(index, store, CFG)
+    quarantined = CFG.with_(seed=2)
+    index.ingest_failure(
+        store.key(quarantined), quarantined.to_dict(),
+        {"failure_kind": "crash", "error": "boom"},
+        version=store.version,
+    )
+    timed_out = CFG.with_(seed=3)
+    index.ingest_failure(
+        store.key(timed_out), timed_out.to_dict(),
+        {"failure_kind": "hang", "error": "watchdog"},
+        version=store.version, status="timeout",
+    )
+    assert index.count(status=["quarantined"]) == 1
+    assert index.count(status=["failed", "timeout"]) == 1
+    assert index.count(status=["ok"]) == 1
+    row = index.query(status=["quarantined"])[0]
+    assert row["failure_kind"] == "crash"
+    assert row["error"] == "boom"
+
+
+def test_sync_from_store_matches_directory(tmp_path):
+    store = ResultStore(tmp_path)
+    res = run_workload(CFG)
+    store.put(CFG, res)
+    store.put(CFG.with_(seed=2), res)
+    store.put_failure(CFG.with_(seed=3), {"failure_kind": "crash",
+                                          "error": "boom"})
+    index = ResultIndex(tmp_path)
+    assert index.sync_from_store(store) == 3
+    assert index.count(status=["ok"]) == 2
+    assert index.count(status=["quarantined"]) == 1
+    # Rows agree with the directory payloads, and re-sync is a no-op.
+    keys = {key for key, _ in store.iter_entries()}
+    assert {r["key"] for r in index.query(status=["ok"])} == keys
+    assert index.sync_from_store(store) == 0
+
+
+def test_sync_skips_corrupted_files(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.put(CFG, run_workload(CFG))
+    (path.parent / "deadbeef.json").write_text("{truncated")
+    index = ResultIndex(tmp_path)
+    assert index.sync_from_store(store) == 1
+
+
+def test_write_through_from_attached_store(tmp_path):
+    store = ResultStore(tmp_path)
+    index = ResultIndex(tmp_path)
+    store.attach_index(index)
+    store.put(CFG, run_workload(CFG))
+    store.put_failure(CFG.with_(seed=2), {"failure_kind": "crash",
+                                          "error": "x"})
+    assert index.count(status=["ok"]) == 1
+    assert index.count(status=["quarantined"]) == 1
+
+
+def test_schema_version_mismatch_drops_and_rebuilds(tmp_path):
+    store = ResultStore(tmp_path)
+    index = ResultIndex(tmp_path)
+    _ingest(index, store, CFG)
+    index.close()
+    # Simulate an index written by an older code version.
+    conn = sqlite3.connect(tmp_path / "index.db")
+    conn.execute("UPDATE meta SET v='0' WHERE k='schema_version'")
+    conn.commit()
+    conn.close()
+    rebuilt = ResultIndex(tmp_path)
+    assert rebuilt.count() == 0  # cache dropped, not mis-read
+    assert rebuilt.stats()["schema_version"] >= 1
+    # The directory refills it.
+    store.put(CFG, run_workload(CFG))
+    assert rebuilt.sync_from_store(store) == 1
+
+
+def test_version_filter(tmp_path):
+    store_v1 = ResultStore(tmp_path, version="1")
+    store_v2 = ResultStore(tmp_path, version="2")
+    index = ResultIndex(tmp_path)
+    _ingest(index, store_v1, CFG)
+    _ingest(index, store_v2, CFG)  # different key: version in the hash
+    assert index.count() == 2
+    assert index.count(version="1") == 1
+
+
+def test_parse_where_types_and_errors():
+    parsed = parse_where(["scheme=nomad", "seed=2", "ipc=0.5"])
+    assert parsed == {"scheme": "nomad", "seed": 2, "ipc": 0.5}
+    with pytest.raises(ValueError, match="column=value"):
+        parse_where(["schemenomad"])
+    with pytest.raises(ValueError, match="unknown --where column"):
+        parse_where(["bogus=1"])
+    with pytest.raises(ValueError, match="numeric column"):
+        parse_where(["seed=abc"])
+    assert "scheme" in QUERYABLE and "status" in QUERYABLE
+
+
+def test_query_rejects_unknown_column(tmp_path):
+    index = ResultIndex(tmp_path)
+    with pytest.raises(ValueError, match="unknown query column"):
+        index.query({"evil; DROP TABLE results": 1})
+
+
+def test_limit_and_order(tmp_path):
+    store = ResultStore(tmp_path)
+    index = ResultIndex(tmp_path)
+    for seed in (3, 1, 2):
+        _ingest(index, store, CFG.with_(seed=seed))
+    rows = index.query(limit=2)
+    assert len(rows) == 2
+    assert [r["seed"] for r in rows] == [1, 2]

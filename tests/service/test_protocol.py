@@ -1,0 +1,74 @@
+"""Wire protocol: batch identity, URL handling, client retry policy."""
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    BrokerClient,
+    BrokerError,
+    BrokerUnreachable,
+    batch_id_for,
+    check_protocol,
+    normalize_broker_url,
+)
+
+CONFIGS = [{"scheme": "nomad", "seed": 1}, {"scheme": "nomad", "seed": 2}]
+
+
+def test_batch_id_is_deterministic():
+    assert batch_id_for("c1", CONFIGS) == batch_id_for("c1", CONFIGS)
+    assert len(batch_id_for("c1", CONFIGS)) == 20
+
+
+def test_batch_id_depends_on_campaign_and_configs():
+    assert batch_id_for("c1", CONFIGS) != batch_id_for("c2", CONFIGS)
+    assert batch_id_for("c1", CONFIGS) != batch_id_for("c1", CONFIGS[:1])
+    # Key order inside a config dict must not matter (canonical JSON).
+    flipped = [{"seed": 1, "scheme": "nomad"}, {"seed": 2, "scheme": "nomad"}]
+    assert batch_id_for("c1", CONFIGS) == batch_id_for("c1", flipped)
+
+
+@pytest.mark.parametrize("raw,expected", [
+    ("localhost:8765", "http://localhost:8765"),
+    (":8765", "http://127.0.0.1:8765"),
+    ("http://broker:8765", "http://broker:8765"),
+    ("http://broker:8765/", "http://broker:8765"),
+    ("https://broker", "https://broker"),
+])
+def test_normalize_broker_url(raw, expected):
+    assert normalize_broker_url(raw) == expected
+
+
+def test_check_protocol_accepts_current_version():
+    payload = {"protocol": PROTOCOL_VERSION, "x": 1}
+    assert check_protocol(payload, side="broker") is payload
+
+
+@pytest.mark.parametrize("bad", [None, 0, 99, "1"])
+def test_check_protocol_rejects_mismatch(bad):
+    with pytest.raises(BrokerError, match="protocol version mismatch"):
+        check_protocol({"protocol": bad}, side="broker")
+
+
+def test_unreachable_broker_retries_with_backoff_then_raises():
+    slept = []
+    client = BrokerClient(
+        "127.0.0.1:9",  # discard port: connection refused immediately
+        timeout=0.2, max_tries=3, sleep=slept.append,
+    )
+    with pytest.raises(BrokerUnreachable, match="after 3 attempt"):
+        client.status()
+    # One backoff sleep between each pair of attempts, growing.
+    assert len(slept) == 2
+    assert all(d > 0 for d in slept)
+
+
+def test_heartbeat_is_best_effort():
+    client = BrokerClient("127.0.0.1:9", timeout=0.2, max_tries=1)
+    assert client.heartbeat("r1", {"completed": 3}) is None
+    with pytest.raises(BrokerUnreachable):
+        client.heartbeat("r1", {}, retry=True)
+
+
+def test_ping_false_when_down():
+    assert BrokerClient("127.0.0.1:9", timeout=0.2).ping() is False

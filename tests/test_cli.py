@@ -214,3 +214,99 @@ def test_sweep_rejects_unknown_names(capsys):
                "--no-store"])
     assert rc == 2
     assert "warpdrive" in capsys.readouterr().err
+
+
+# -- service subcommands ----------------------------------------------------
+
+def _seed_store(tmp_path):
+    assert main(["sweep", "--schemes", "baseline,nomad", "--workloads",
+                 "sop", "--seeds", "1,2", "--ops", "200", "--cores", "2",
+                 "--dc-mb", "8", "--store", str(tmp_path),
+                 "--no-progress"]) == 0
+
+
+def test_results_empty_store(tmp_path, capsys):
+    assert main(["results", "--store", str(tmp_path)]) == 0
+    assert "no matching rows" in capsys.readouterr().out
+
+
+def test_results_lists_and_filters_swept_runs(tmp_path, capsys):
+    _seed_store(tmp_path)
+    capsys.readouterr()
+    assert main(["results", "--store", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "4 rows" in out and "nomad" in out and "baseline" in out
+
+    assert main(["results", "--store", str(tmp_path),
+                 "--where", "scheme=nomad", "--count"]) == 0
+    assert capsys.readouterr().out.strip() == "2"
+
+    assert main(["results", "--store", str(tmp_path),
+                 "--where", "scheme=nomad", "--where", "seed=1",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    row = payload["rows"][0]
+    assert row["scheme"] == "nomad" and row["seed"] == 1
+    assert row["status"] == "ok" and row["ipc"] > 0
+
+
+def test_results_json_matches_directory_store(tmp_path, capsys):
+    from repro.campaign import ResultStore
+
+    _seed_store(tmp_path)
+    capsys.readouterr()
+    assert main(["results", "--store", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    store = ResultStore(tmp_path)
+    disk = dict(store.iter_entries())
+    assert {r["key"] for r in payload["rows"]} == set(disk)
+    for row in payload["rows"]:
+        assert row["metrics"] == disk[row["key"]]["result"]
+
+
+def test_results_quarantined_view(tmp_path, capsys):
+    from repro.campaign import ResultStore
+    from repro.harness.runner import RunConfig
+
+    store = ResultStore(tmp_path)
+    cfg = RunConfig(scheme="baseline", workload="sop", num_mem_ops=200,
+                    num_cores=2, dc_megabytes=8)
+    store.put_failure(cfg, {"failure_kind": "crash", "error": "boom"})
+    assert main(["results", "--store", str(tmp_path),
+                 "--quarantined"]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined" in out and "crash" in out
+
+
+def test_results_rejects_bad_where(tmp_path, capsys):
+    assert main(["results", "--store", str(tmp_path),
+                 "--where", "bogus=1"]) == 2
+    assert "unknown --where column" in capsys.readouterr().err
+
+
+def test_sweep_distributed_requires_store(capsys):
+    rc = main(["sweep", "--schemes", "baseline", "--workloads", "sop",
+               "--ops", "200", "--no-store", "--distributed"])
+    assert rc == 2
+    assert "--no-store" in capsys.readouterr().err
+
+
+def test_sweep_distributed_local_service_round_trip(tmp_path, capsys):
+    args = ["sweep", "--schemes", "baseline", "--workloads", "sop",
+            "--seeds", "1,2", "--ops", "200", "--cores", "2", "--dc-mb", "8",
+            "--store", str(tmp_path), "--distributed", "--runners", "2",
+            "--no-progress"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "2 runs" in out and "2 simulated" in out
+    assert "campaign id:" in out
+    cid = out.rsplit("campaign id: ", 1)[1].split()[0]
+    # Resume of a finished campaign: all served from the store, and the
+    # campaign id round-trips from the printed hint.
+    from repro.harness.runner import clear_cache
+    clear_cache()
+    assert main(["sweep", "--distributed", "--resume", cid,
+                 "--store", str(tmp_path), "--no-progress"]) == 0
+    out = capsys.readouterr().out
+    assert "0 simulated, 2 cached" in out
