@@ -329,7 +329,7 @@ def cmd_broker(args) -> int:
     from repro.service import serve_broker
 
     serve_broker(args.host, args.port, args.store or default_store_dir(),
-                 lease_s=args.lease)
+                 lease_s=args.lease, token=args.token)
     return 0
 
 
@@ -653,6 +653,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_br.add_argument("--lease", type=float, default=60.0,
                       help="batch lease seconds; a runner silent this long "
                            "has its batches requeued (default 60)")
+    p_br.add_argument("--token", default=None,
+                      help="shared secret required (as X-Repro-Token) on "
+                           "every mutating endpoint; default "
+                           "$REPRO_BROKER_TOKEN, empty = open (loopback "
+                           "only!).  Runners and coordinators pick the "
+                           "same variable up automatically")
     p_br.set_defaults(func=cmd_broker)
 
     p_rn = sub.add_parser(

@@ -32,7 +32,9 @@ with an injectable clock (unit-testable without sockets);
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -68,6 +70,10 @@ class _Batch:
     lease_expiry: float = 0.0
     attempts: int = 0
     requeues: int = 0
+    #: A /complete is ingesting this batch's items right now.  Guards
+    #: against duplicate completions double-ingesting and against the
+    #: lease expiring out from under an in-flight ingest.
+    completing: bool = False
 
 
 @dataclass
@@ -198,7 +204,8 @@ class Broker:
         with self._lock:
             for campaign in self._campaigns.values():
                 for batch in campaign.batches.values():
-                    if batch.state == LEASED and now >= batch.lease_expiry:
+                    if (batch.state == LEASED and not batch.completing
+                            and now >= batch.lease_expiry):
                         batch.state = QUEUED
                         batch.lease_runner = ""
                         batch.requeues += 1
@@ -251,27 +258,41 @@ class Broker:
                 raise BrokerError(
                     f"unknown batch {batch_id!r} in campaign {campaign_id!r}"
                 )
-            if batch.state == DONE:
+            if batch.state == DONE or batch.completing:
                 # An expired lease's original runner finishing late, or
                 # a retried /complete: the first completion won.  Drop
                 # it -- never double-ingest.
                 campaign.duplicate_completes += 1
                 return {"accepted": False, "reason": "already complete"}
+            batch.completing = True
+        # Store/index ingestion outside the queue lock (file and SQLite
+        # I/O with its own locking; claims must not stall behind it) but
+        # BEFORE the batch flips to DONE: the coordinator breaks its
+        # drain loop the moment /status counts every batch done and
+        # immediately fetches /records, so each item must be visible by
+        # the time the done count includes this batch.
+        try:
+            for item in items:
+                self._ingest_item(campaign, item)
+        except BaseException:
+            # Leave the batch leased: the lease expires, the batch
+            # requeues, and a re-run's ingest converges (store writes
+            # are idempotent by content address).
+            with self._lock:
+                batch.completing = False
+            raise
+        with self._lock:
             runner = self._touch_runner(runner_id)
             batch.state = DONE
+            batch.completing = False
             batch.lease_runner = ""
             runner.batches_done += 1
             runner.runs_done += len(items)
             campaign.runs_done += len(items)
             merge_cache_counts(campaign.cache_counts, cache_stats)
-            merge_cache_counts(
-                runner.stats.setdefault("cache", {}), cache_stats
-            )
-        # Store/index ingestion outside the queue lock: it is file and
-        # SQLite I/O with its own locking, and claims must not stall
-        # behind it.
-        for item in items:
-            self._ingest_item(campaign, item)
+            # runner.stats["cache"] is owned by heartbeats (the runner
+            # process's cumulative counters); merging the per-batch
+            # delta here too would double-count hits and misses.
         return {"accepted": True}
 
     def _ingest_item(self, campaign: _Campaign, item: dict) -> None:
@@ -400,6 +421,7 @@ class Broker:
 class _BrokerHandler(BaseHTTPRequestHandler):
     # Set by BrokerServer:
     broker: Broker = None  # type: ignore[assignment]
+    token: Optional[str] = None
     protocol_version = "HTTP/1.1"
 
     def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
@@ -408,7 +430,8 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
 
     def _reply(self, payload: dict, code: int = 200,
-               content_type: str = "application/json") -> None:
+               content_type: str = "application/json",
+               cors: bool = False) -> None:
         if content_type == "application/json":
             payload = dict(payload)
             payload["protocol"] = PROTOCOL_VERSION
@@ -418,10 +441,20 @@ class _BrokerHandler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        # The dashboard may be served from another origin/port.
-        self.send_header("Access-Control-Allow-Origin", "*")
+        if cors:
+            # Only the read-only dashboard poll endpoint is cross-origin
+            # (an externally served page polling /status); everything
+            # else stays same-origin so a stray web page cannot drive a
+            # localhost broker.
+            self.send_header("Access-Control-Allow-Origin", "*")
         self.end_headers()
         self.wfile.write(body)
+
+    def _authorized(self) -> bool:
+        if not self.token:
+            return True
+        supplied = self.headers.get("X-Repro-Token", "")
+        return hmac.compare_digest(supplied, self.token)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -432,20 +465,25 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             raise BrokerError("request body is not valid JSON")
         return check_protocol(payload, side="client")
 
-    def _dispatch(self, fn) -> None:
+    def _dispatch(self, fn, cors: bool = False) -> None:
         try:
-            self._reply(fn())
+            self._reply(fn(), cors=cors)
         except BrokerError as exc:
-            self._reply({"error": str(exc)}, code=400)
+            self._reply({"error": str(exc)}, code=400, cors=cors)
         except Exception as exc:  # pragma: no cover - defensive
             self._reply(
-                {"error": f"{type(exc).__name__}: {exc}"}, code=500
+                {"error": f"{type(exc).__name__}: {exc}"}, code=500,
+                cors=cors,
             )
 
     # -- routes ------------------------------------------------------------
 
     def do_POST(self):  # noqa: N802 - stdlib name
         path = urlparse(self.path).path
+        if not self._authorized():
+            return self._reply(
+                {"error": "missing or invalid X-Repro-Token"}, code=401
+            )
         try:
             body = self._read_json()
         except BrokerError as exc:
@@ -485,7 +523,8 @@ class _BrokerHandler(BaseHTTPRequestHandler):
         broker = self.broker
         if parsed.path == "/status":
             self._dispatch(
-                lambda: broker.status(params.get("campaign_id"))
+                lambda: broker.status(params.get("campaign_id")),
+                cors=True,
             )
         elif parsed.path == "/records":
             self._dispatch(lambda: {
@@ -508,13 +547,26 @@ class _BrokerHandler(BaseHTTPRequestHandler):
 
 
 class BrokerServer:
-    """A :class:`Broker` behind a threading stdlib HTTP server."""
+    """A :class:`Broker` behind a threading stdlib HTTP server.
+
+    ``token`` gates every mutating (POST) endpoint behind an
+    ``X-Repro-Token`` header; ``None`` falls back to
+    ``$REPRO_BROKER_TOKEN`` (empty/unset = open, fine for the loopback
+    default -- set it whenever binding a routable interface).
+    :class:`~repro.service.protocol.BrokerClient` reads the same
+    environment variable, so an exported token secures coordinator,
+    runners, and broker together.
+    """
 
     def __init__(self, broker: Broker, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, token: Optional[str] = None):
         self.broker = broker
+        if token is None:
+            token = os.environ.get("REPRO_BROKER_TOKEN") or None
+        self.token = token
         handler = type(
-            "BoundBrokerHandler", (_BrokerHandler,), {"broker": broker}
+            "BoundBrokerHandler", (_BrokerHandler,),
+            {"broker": broker, "token": token},
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -550,12 +602,18 @@ class BrokerServer:
 
 
 def serve_broker(host: str, port: int, store_root: Union[str, Path],
-                 lease_s: float = 60.0) -> None:
+                 lease_s: float = 60.0,
+                 token: Optional[str] = None) -> None:
     """Blocking entry point behind ``python -m repro broker``."""
     broker = Broker(store_root, lease_s=lease_s)
-    server = BrokerServer(broker, host=host, port=port)
+    server = BrokerServer(broker, host=host, port=port, token=token)
+    auth = "on (X-Repro-Token)" if server.token else "off"
     print(f"broker listening on {server.url} "
-          f"(store {broker.store.root}, lease {lease_s:.0f}s)")
+          f"(store {broker.store.root}, lease {lease_s:.0f}s, auth {auth})")
+    if not server.token and host not in ("127.0.0.1", "localhost", "::1"):
+        print("warning: non-loopback bind without a token -- anything "
+              "that can reach this port can enqueue and complete work; "
+              "set REPRO_BROKER_TOKEN (or pass --token)")
     print(f"dashboard: {server.url}/dashboard")
     try:
         server.serve_forever()

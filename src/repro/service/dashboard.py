@@ -12,8 +12,9 @@ Served two ways:
 * the broker itself answers ``GET /dashboard`` (same origin, zero
   setup);
 * ``python -m repro serve-dashboard --broker URL`` hosts the page on a
-  separate port (the broker sends CORS headers, so a dashboard host
-  can sit anywhere that can reach the broker).
+  separate port (the broker CORS-enables the read-only ``/status``
+  endpoint -- and only that one -- so a dashboard host can sit
+  anywhere that can reach the broker).
 """
 
 from __future__ import annotations

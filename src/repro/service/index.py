@@ -192,29 +192,42 @@ class ResultIndex:
 
     def _upsert(self, key: str, version: str, status: str, cfg: dict,
                 failure_kind: str = "", error: str = "",
-                result: Optional[dict] = None) -> None:
+                result: Optional[dict] = None,
+                preserve_ok: bool = False) -> None:
         metric_values = tuple(
             (result or {}).get(name) for name, _ in _METRIC_COLUMNS
         )
-        config_names = ", ".join(name for name, _ in _CONFIG_COLUMNS)
-        metric_names = ", ".join(name for name, _ in _METRIC_COLUMNS)
-        placeholders = ", ".join(
-            "?" * (len(_CONFIG_COLUMNS) + len(_METRIC_COLUMNS))
+        all_names = [
+            "version", "status", "failure_kind", "error",
+            *(name for name, _ in _CONFIG_COLUMNS),
+            *(name for name, _ in _METRIC_COLUMNS),
+            "knobs", "metrics", "updated_at",
+        ]
+        params = (
+            key, version, status, failure_kind, error,
+            *self._config_values(cfg), *metric_values,
+            self._knobs(cfg),
+            json.dumps(result, sort_keys=True) if result else None,
+            time.time(),
         )
-        with self._lock:
-            self._conn.execute(
-                f"INSERT OR REPLACE INTO results "
-                f"(key, version, status, failure_kind, error, "
-                f"{config_names}, {metric_names}, knobs, metrics, updated_at) "
-                f"VALUES (?, ?, ?, ?, ?, {placeholders}, ?, ?, ?)",
-                (
-                    key, version, status, failure_kind, error,
-                    *self._config_values(cfg), *metric_values,
-                    self._knobs(cfg),
-                    json.dumps(result, sort_keys=True) if result else None,
-                    time.time(),
-                ),
+        sql = (
+            f"INSERT INTO results (key, {', '.join(all_names)}) "
+            f"VALUES ({', '.join('?' * len(params))})"
+        )
+        if preserve_ok:
+            # Failure ingests must never downgrade a key the store
+            # already holds a good result for (e.g. a guarded or
+            # telemetry re-run of a stored config flaking out): the
+            # conflict update is a no-op against an 'ok' row.
+            updates = ", ".join(f"{n} = excluded.{n}" for n in all_names)
+            sql += (
+                f" ON CONFLICT(key) DO UPDATE SET {updates}"
+                f" WHERE results.status != 'ok'"
             )
+        else:
+            sql = sql.replace("INSERT INTO", "INSERT OR REPLACE INTO", 1)
+        with self._lock:
+            self._conn.execute(sql, params)
 
     def ingest_result(self, key: str, cfg: dict, result: dict,
                       version: str) -> None:
@@ -223,11 +236,13 @@ class ResultIndex:
 
     def ingest_failure(self, key: str, cfg: dict, failure: dict,
                        version: str, status: str = "quarantined") -> None:
-        """Record a quarantined (or transiently failed) run."""
+        """Record a quarantined (or transiently failed) run; an
+        existing ``ok`` row for the key is never downgraded."""
         self._upsert(
             key, version, status, cfg,
             failure_kind=str(failure.get("failure_kind", "")),
             error=str(failure.get("error", "")),
+            preserve_ok=True,
         )
 
     def forget(self, key: str) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import socket
 import time
 import urllib.error
@@ -96,12 +97,18 @@ class BrokerClient:
         backoff: Backoff = CLIENT_BACKOFF,
         max_tries: int = 6,
         sleep: Callable[[float], None] = time.sleep,
+        token: Optional[str] = None,
     ):
         self.base_url = normalize_broker_url(broker)
         self.timeout = timeout
         self.backoff = backoff
         self.max_tries = max_tries
         self._sleep = sleep
+        # Matches the broker's default: one exported REPRO_BROKER_TOKEN
+        # secures coordinator, runners, and broker together.
+        if token is None:
+            token = os.environ.get("REPRO_BROKER_TOKEN") or None
+        self.token = token
 
     # -- transport ---------------------------------------------------------
 
@@ -112,6 +119,8 @@ class BrokerClient:
             url += "?" + urllib.parse.urlencode(params)
         data = None
         headers = {"Accept": "application/json"}
+        if self.token:
+            headers["X-Repro-Token"] = self.token
         if payload is not None:
             body = dict(payload)
             body["protocol"] = PROTOCOL_VERSION

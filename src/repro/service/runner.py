@@ -8,10 +8,12 @@ same-snapshot-key batching (the broker groups batches by snapshot key,
 and every fork amortizes inside this runner's worker processes) -- then
 streams the resulting records back and moves on.
 
-Liveness is heartbeats: while a batch runs, campaign ``progress``
-events are forwarded to the broker as telemetry heartbeats (throughput,
-snapshot/trace cache hit deltas, recent overlap fractions), which also
-renew the runner's leases.  A runner that dies mid-batch simply stops
+Liveness is heartbeats: while a batch runs, a timer thread renews the
+runner's leases every third of the lease period (so a single run longer
+than the lease cannot get the batch requeued mid-run), and campaign
+``progress`` events are additionally forwarded as telemetry heartbeats
+(throughput, snapshot/trace cache hit deltas, recent overlap
+fractions).  A runner that dies mid-batch simply stops
 heartbeating; the broker expires the lease and requeues the batch
 elsewhere.  All broker I/O retries with the shared jittered-exponential
 :class:`~repro.campaign.pool.Backoff` before giving up.
@@ -21,6 +23,7 @@ from __future__ import annotations
 
 import os
 import socket
+import threading
 import time
 from typing import Callable, Optional
 
@@ -165,20 +168,48 @@ def runner_loop(
             time.sleep(poll_s)
             continue
         idle_since = None
+        lease_s = float(grant.get("lease_s") or 60.0)
         for batch in batches:
             _say(f"claimed batch {batch['batch_id']} "
                  f"({len(batch['configs'])} configs)")
             t0 = time.monotonic()
+            last_progress: dict = {}
 
             def on_event(kind: str, info: dict) -> None:
                 # Forward campaign progress as a broker heartbeat; a
                 # dropped heartbeat is fine (lease grace absorbs it).
+                last_progress.update(info)
                 hb.observe(completed=info.get("completed", 0))
                 client.heartbeat(rid, make_heartbeat(
                     rid, info, cache_counts(), hb
                 ))
 
-            items, delta = execute_batch(batch, jobs=jobs, on_event=on_event)
+            # Progress events only fire when a run *completes*, so a
+            # single run longer than the lease would starve the broker
+            # of heartbeats and get the batch requeued (and re-executed
+            # elsewhere) mid-run.  A timer thread keeps the lease warm
+            # regardless of run length.
+            stop_renewal = threading.Event()
+
+            def _renew_lease() -> None:
+                interval = max(0.1, lease_s / 3.0)
+                while not stop_renewal.wait(interval):
+                    client.heartbeat(rid, make_heartbeat(
+                        rid, dict(last_progress), cache_counts(), hb
+                    ))
+
+            renewal = threading.Thread(
+                target=_renew_lease, name=f"lease-renewal-{rid}",
+                daemon=True,
+            )
+            renewal.start()
+            try:
+                items, delta = execute_batch(
+                    batch, jobs=jobs, on_event=on_event
+                )
+            finally:
+                stop_renewal.set()
+                renewal.join(timeout=10)
             for item in items:
                 overlap = (item.get("telemetry") or {}).get(
                     "overlap_fraction"

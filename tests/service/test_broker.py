@@ -119,6 +119,91 @@ def test_expired_lease_requeues_and_late_complete_is_dropped(broker, clock):
     assert len(broker.records("c1")) == 1
 
 
+def test_complete_ingests_records_before_batch_counts_done(broker, clock):
+    # The coordinator breaks its drain loop on done == batches and
+    # immediately fetches /records: a batch must never count done while
+    # its items are still mid-ingestion, however slow the store is.
+    configs = [CFG, CFG.with_(seed=2)]
+    broker.enqueue("c1", _batches("c1", configs), {})
+    batch = broker.claim("r1")["batches"][0]
+    res = run_workload(CFG)
+    items = [_item(c, i, result=res.to_dict())
+             for i, c in enumerate(configs)]
+
+    observed = []
+    orig_put = broker.store.put
+
+    def slow_put(cfg, result):
+        # What a polling coordinator sees while this item lands.
+        status = broker.status("c1")["campaigns"]["c1"]
+        observed.append(status["done"])
+        # The lease must survive an arbitrarily slow ingest...
+        clock.advance(1000.0)
+        assert broker.claim("r-thief")["batches"] == []
+        # ...and a duplicate /complete racing it is dropped.
+        answer = broker.complete("r-thief", "c1", batch["batch_id"], items)
+        assert answer["accepted"] is False
+        return orig_put(cfg, result)
+
+    broker.store.put = slow_put
+    answer = broker.complete("r1", "c1", batch["batch_id"], items)
+    assert answer == {"accepted": True}
+    assert observed == [0, 0]  # never done before records were visible
+    status = broker.status("c1")["campaigns"]["c1"]
+    assert status["done"] == 1 and status["runs_done"] == 2
+    assert len(broker.records("c1")) == 2
+    assert broker.status()["requeues"] == 0
+
+
+def test_failed_ingest_leaves_batch_leased_for_requeue(broker, clock):
+    broker.enqueue("c1", _batches("c1", [CFG]), {})
+    batch = broker.claim("r1")["batches"][0]
+    res = run_workload(CFG)
+    items = [_item(CFG, 0, result=res.to_dict())]
+
+    def broken_put(cfg, result):
+        raise OSError("disk full")
+
+    orig_put = broker.store.put
+    broker.store.put = broken_put
+    with pytest.raises(OSError):
+        broker.complete("r1", "c1", batch["batch_id"], items)
+    # Not done, but not stuck either: the lease expires, the batch
+    # requeues, and a healthy completion converges.
+    assert broker.status("c1")["campaigns"]["c1"]["done"] == 0
+    broker.store.put = orig_put
+    clock.advance(31.0)
+    regrant = broker.claim("r2")["batches"]
+    assert len(regrant) == 1
+    assert broker.complete(
+        "r2", "c1", batch["batch_id"], items
+    )["accepted"] is True
+    assert broker.status("c1")["campaigns"]["c1"]["done"] == 1
+
+
+def test_heartbeats_own_runner_cache_stats(broker, clock):
+    broker.enqueue("c1", _batches("c1", [CFG]), {})
+    batch = broker.claim("r1")["batches"][0]
+    # A heartbeat carries the runner process's *cumulative* counters.
+    broker.heartbeat(
+        "r1", {"cache": {"snapshot": {"hits": 10, "misses": 2}}}
+    )
+    res = run_workload(CFG)
+    broker.complete(
+        "r1", "c1", batch["batch_id"],
+        [_item(CFG, 0, result=res.to_dict())],
+        cache_stats={"snapshot": {"hits": 3, "misses": 1}},
+    )
+    status = broker.status()
+    # The per-batch delta lands in the campaign totals...
+    assert status["campaigns"]["c1"]["cache_counts"]["snapshot"]["hits"] == 3
+    # ...but is not merged on top of the cumulative heartbeat numbers
+    # (10 + 3 would double-count the runner's hit rate).
+    assert status["runners"]["r1"]["stats"]["cache"]["snapshot"] == {
+        "hits": 10, "misses": 2,
+    }
+
+
 def test_heartbeat_renews_leases(broker, clock):
     broker.enqueue("c1", _batches("c1", [CFG]), {})
     broker.claim("r1")

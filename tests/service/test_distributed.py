@@ -195,6 +195,49 @@ def test_resume_with_nothing_pending_never_needs_runners(tmp_path):
     assert all(r.source == "store" for r in resumed.records)
 
 
+def test_lease_renewed_by_timer_during_long_run(monkeypatch):
+    # Progress events only fire when a run completes; a single run
+    # longer than the lease must still heartbeat (else the broker
+    # requeues the batch and another runner re-executes it).
+    import time
+
+    import repro.service.runner as runner_mod
+
+    class StubClient:
+        def __init__(self):
+            self.heartbeats = []
+            self.completed = []
+            self.claims = 0
+
+        def claim(self, rid, max_batches=1):
+            self.claims += 1
+            batches = [] if self.claims > 1 else [{
+                "campaign_id": "c1", "batch_id": "b1",
+                "indices": [0], "configs": [BASE.to_dict()],
+                "meta": {}, "attempt": 1,
+            }]
+            return {"batches": batches, "lease_s": 0.3}
+
+        def heartbeat(self, rid, payload, retry=False):
+            self.heartbeats.append(payload)
+            return {"renewed": 1}
+
+        def complete(self, rid, cid, bid, items, cache_stats=None):
+            self.completed.append(bid)
+            return {"accepted": True}
+
+    def slow_execute(batch, jobs=1, on_event=None):
+        time.sleep(1.0)  # several lease periods, zero progress events
+        return [], {}
+
+    monkeypatch.setattr(runner_mod, "execute_batch", slow_execute)
+    stub = StubClient()
+    done = runner_loop("ignored", client=stub, max_batches=1)
+    assert done == 1 and stub.completed == ["b1"]
+    # lease_s=0.3 -> renewal every 0.1s; a 1s run must land several.
+    assert len(stub.heartbeats) >= 2
+
+
 def test_runner_restores_trace_cache_config(tmp_path):
     # Runner loops may execute as threads inside a larger process; the
     # disk trace-cache layer they point at the campaign store must not

@@ -71,6 +71,47 @@ def test_failure_views(tmp_path):
     assert row["error"] == "boom"
 
 
+def test_failure_ingest_never_downgrades_ok_row(tmp_path):
+    store = ResultStore(tmp_path)
+    index = ResultIndex(tmp_path)
+    _ingest(index, store, CFG, ipc=0.42)
+    # A transient flake of an already-stored config (e.g. a guarded
+    # re-run) must not report the key as failed: the store still holds
+    # the good result.
+    index.ingest_failure(
+        store.key(CFG), CFG.to_dict(),
+        {"failure_kind": "crash", "error": "flaky"},
+        version=store.version, status="failed",
+    )
+    row = index.query()[0]
+    assert row["status"] == "ok"
+    assert row["ipc"] == pytest.approx(0.42)
+
+    # The other direction upgrades: a later success replaces a failure.
+    other = CFG.with_(seed=2)
+    index.ingest_failure(
+        store.key(other), other.to_dict(),
+        {"failure_kind": "hang", "error": "watchdog"},
+        version=store.version, status="timeout",
+    )
+    _ingest(index, store, other, ipc=0.5)
+    assert index.query({"seed": 2})[0]["status"] == "ok"
+
+    # Failure-over-failure still updates (timeout -> quarantined).
+    third = CFG.with_(seed=3)
+    index.ingest_failure(
+        store.key(third), third.to_dict(),
+        {"failure_kind": "hang", "error": "watchdog"},
+        version=store.version, status="timeout",
+    )
+    index.ingest_failure(
+        store.key(third), third.to_dict(),
+        {"failure_kind": "crash", "error": "boom"},
+        version=store.version,
+    )
+    assert index.query({"seed": 3})[0]["status"] == "quarantined"
+
+
 def test_sync_from_store_matches_directory(tmp_path):
     store = ResultStore(tmp_path)
     res = run_workload(CFG)
