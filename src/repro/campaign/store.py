@@ -15,9 +15,17 @@ Entries carry the full config alongside the result; ``get`` verifies it
 against the requested config so hash collisions or corrupted payloads
 degrade to a miss, never to a wrong result.  All writes -- results and
 quarantine records alike -- go through one atomic path (temp file +
-``fsync`` + ``os.replace``), so concurrent campaign workers, service
-runners, and readers can share one store directory and a killed writer
-can never leave a truncated JSON behind.
+``fsync`` + ``os.replace`` + parent-directory ``fsync``), so concurrent
+campaign workers, service runners, and readers can share one store
+directory and a killed writer can never leave a truncated JSON behind,
+even across power loss.  Every payload also carries an ``integrity``
+sha256 over its canonical content, so ``repro scrub`` can tell a
+bit-flipped record from a healthy one without re-running anything.
+
+The actual syscalls go through a tiny swappable filesystem shim
+(:func:`install_fs`), which is how the service chaos layer injects
+ENOSPC, torn writes, and bit flips into exactly these paths
+(:class:`repro.service.chaos.FaultyFS`) without monkeypatching.
 
 An optional :class:`repro.service.index.ResultIndex` can be attached
 with :meth:`attach_index`; every ``put``/``put_failure`` then writes
@@ -38,29 +46,116 @@ from repro.harness.runner import RunConfig
 from repro.system.machine import MachineResult
 
 
+class _RealFS:
+    """The filesystem calls :func:`atomic_write_json` depends on.
+
+    A single seam for the chaos layer: swap in a faulty implementation
+    with :func:`install_fs` and every store/journal/manifest write in
+    the process goes through it.  ``path`` on :meth:`write` is the
+    *destination* path (the tmp file is anonymous), so fault plans can
+    target "store records" vs "service metadata" precisely.
+    """
+
+    def write(self, fh, data: bytes, path: Optional[Path] = None) -> int:
+        return fh.write(data)
+
+    def fsync(self, fileno: int) -> None:
+        os.fsync(fileno)
+
+    def replace(self, src, dst) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: Path) -> None:
+        # Directory fsync persists the rename itself (the file's data
+        # being durable is useless if the directory entry is lost on
+        # power failure).  Best-effort: some filesystems/platforms
+        # refuse O_RDONLY fsync on directories.
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+
+_FS = _RealFS()
+
+
+def install_fs(fs) -> object:
+    """Swap the filesystem shim; returns the previous one.
+
+    Used by :mod:`repro.service.chaos` to inject ENOSPC / torn-write /
+    bit-flip faults into real write paths.  Callers must restore the
+    previous shim (``faulty_fs`` does this in a context manager).
+    """
+    global _FS
+    prev = _FS
+    _FS = fs
+    return prev
+
+
 def atomic_write_json(path: Path, payload: dict) -> Path:
     """Durably replace *path* with the JSON of *payload*.
 
     The bytes are written to a sibling temp file, fsynced, then renamed
-    over the target -- readers see either the old entry or the complete
-    new one, never a torn write, even if the writer is SIGKILLed
-    mid-call (same discipline as the PR 5 trace-cache ``.npz`` writes).
+    over the target, and finally the parent directory is fsynced so the
+    rename itself survives power loss -- readers see either the old
+    entry or the complete new one, never a torn write, even if the
+    writer is SIGKILLed mid-call (same discipline as the PR 5
+    trace-cache ``.npz`` writes).
     """
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    data = json.dumps(payload).encode()
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(payload, fh)
+        with os.fdopen(fd, "wb") as fh:
+            _FS.write(fh, data, path=path)
             fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+            _FS.fsync(fh.fileno())
+        _FS.replace(tmp, path)
     except BaseException:
         try:
             os.unlink(tmp)
         except OSError:
             pass
         raise
+    _FS.fsync_dir(path.parent)
     return path
+
+
+def content_key(config: dict, version: str) -> str:
+    """sha256 of the canonical ``{config, version}`` JSON.
+
+    The one key function for the whole store: ``ResultStore.key``
+    delegates here, and ``repro scrub`` recomputes it from each file's
+    own payload to verify the file sits at its content address."""
+    canonical = json.dumps(
+        {"config": config, "version": version},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def payload_integrity(payload: dict) -> str:
+    """Checksum over a store payload's meaningful content.
+
+    Covers ``config``, ``version``, and whichever of ``result`` /
+    ``failure`` is present -- everything except the ``integrity`` field
+    itself -- so a single flipped bit anywhere in the record is
+    detectable even when the file still parses as JSON."""
+    body = {
+        k: payload.get(k)
+        for k in ("config", "version", "result", "failure")
+        if k in payload
+    }
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def default_store_dir() -> Path:
@@ -96,12 +191,7 @@ class ResultStore:
     # -- keys --------------------------------------------------------------
 
     def key(self, cfg: RunConfig) -> str:
-        canonical = json.dumps(
-            {"config": cfg.to_dict(), "version": self.version},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        return content_key(cfg.to_dict(), self.version)
 
     def path_for(self, cfg: RunConfig) -> Path:
         key = self.key(cfg)
@@ -115,6 +205,14 @@ class ResultStore:
             payload = json.loads(path.read_text())
             if payload.get("config") != cfg.to_dict():
                 raise ValueError("stored config does not match request")
+            # Records written since the integrity stamp was introduced
+            # verify end-to-end: a bit flip anywhere in the payload --
+            # including the result values, which the config comparison
+            # cannot see -- degrades to a miss, never a wrong result.
+            integrity = payload.get("integrity")
+            if (integrity is not None
+                    and integrity != payload_integrity(payload)):
+                raise ValueError("integrity checksum mismatch")
             result = MachineResult.from_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
@@ -129,6 +227,7 @@ class ResultStore:
             "config": cfg.to_dict(),
             "result": result.to_dict(),
         }
+        payload["integrity"] = payload_integrity(payload)
         atomic_write_json(path, payload)
         self.writes += 1
         if self._index is not None:
@@ -162,6 +261,7 @@ class ResultStore:
             "config": cfg.to_dict(),
             "failure": dict(info),
         }
+        payload["integrity"] = payload_integrity(payload)
         atomic_write_json(path, payload)
         if self._index is not None:
             self._index.ingest_failure(
@@ -177,6 +277,10 @@ class ResultStore:
             payload = json.loads(path.read_text())
             if payload.get("config") != cfg.to_dict():
                 raise ValueError("stored config does not match request")
+            integrity = payload.get("integrity")
+            if (integrity is not None
+                    and integrity != payload_integrity(payload)):
+                raise ValueError("integrity checksum mismatch")
             failure = payload["failure"]
             if not isinstance(failure, dict):
                 raise TypeError("failure record is not a dict")
@@ -196,7 +300,9 @@ class ResultStore:
         if not self.root.exists():
             return
         for path in sorted(self.root.glob("*/*.json")):
-            if path.parent.name == "quarantine":
+            if len(path.parent.name) != 2:
+                # Only the 2-hex shard dirs hold result records; skip
+                # quarantine/, corrupt/ (scrub's damage bin), service/.
                 continue
             try:
                 payload = json.loads(path.read_text())
@@ -221,10 +327,11 @@ class ResultStore:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        # Quarantine records are not results; keep them out of the count.
+        # Quarantine/corrupt records are not results; count only the
+        # 2-hex shard dirs.
         return sum(
             1 for p in self.root.glob("*/*.json")
-            if p.parent.name != "quarantine"
+            if len(p.parent.name) == 2
         )
 
     def stats(self) -> Dict[str, object]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.campaign import (
@@ -334,13 +335,20 @@ def cmd_broker(args) -> int:
 
 
 def cmd_runner(args) -> int:
-    from repro.service import runner_loop
+    from repro.service import BrokerUnreachable, runner_loop
 
-    done = runner_loop(
-        args.broker, jobs=args.jobs, runner_id=args.runner_id,
-        poll_s=args.poll, exit_when_idle=args.exit_when_idle,
-        max_batches=args.max_batches, verbose=args.verbose,
-    )
+    try:
+        done = runner_loop(
+            args.broker, jobs=args.jobs, runner_id=args.runner_id,
+            poll_s=args.poll, exit_when_idle=args.exit_when_idle,
+            max_batches=args.max_batches, verbose=args.verbose,
+            give_up_after_s=args.give_up,
+        )
+    except BrokerUnreachable as exc:
+        # One operator-readable line, no traceback: the address is in
+        # the message ("broker unreachable at HOST:PORT ...").
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.verbose:
         print(f"runner finished: {done} batches")
     return 0
@@ -358,7 +366,7 @@ def cmd_results(args) -> int:
 
     store = ResultStore(args.store or default_store_dir())
     index = ResultIndex(store.root)
-    index.sync_from_store(store)
+    synced = index.sync_from_store(store)
     try:
         where = parse_where(args.where or [])
     except ValueError as exc:
@@ -381,7 +389,19 @@ def cmd_results(args) -> int:
 
     rows = index.query(where, status=status, limit=args.limit)
     if args.json:
-        _emit_json({"count": len(rows), "rows": rows})
+        from repro.service.scrub import load_scrub_report
+
+        # Operators auditing a repair see exactly what changed: rows
+        # this invocation's sync re-added, cumulative repair counters,
+        # and the persisted report of the last `repro scrub`.
+        repairs = dict(index.repair_counts)
+        repairs["synced_now"] = synced
+        _emit_json({
+            "count": len(rows),
+            "rows": rows,
+            "repairs": repairs,
+            "last_scrub": load_scrub_report(store.root),
+        })
         return 0
     if not rows:
         print("no matching rows (is the store populated? try "
@@ -411,6 +431,126 @@ def cmd_results(args) -> int:
                        title=f"result index: {len(rows)} rows "
                              f"({store.root})"))
     return 0
+
+
+def cmd_scrub(args) -> int:
+    from repro.service.index import ResultIndex
+    from repro.service.scrub import scrub_store
+
+    store = ResultStore(args.store or default_store_dir())
+    index = ResultIndex(store.root)
+    report = scrub_store(store, index, repair=not args.audit)
+    if args.json:
+        _emit_json(report)
+    else:
+        print(f"scrub {store.root}: {report['checked']} records checked, "
+              f"{report['ok']} ok, "
+              f"{len(report['corrupt']) + len(report['quarantined_corrupt'])}"
+              f" corrupt, {report['synced_rows']} index rows repaired")
+        for entry in report["corrupt"] + report["quarantined_corrupt"]:
+            moved = entry.get("moved_to")
+            action = f" -> {moved}" if moved else " (audit only)"
+            print(f"  corrupt: {entry['path']}: {entry['reason']}{action}")
+    return 0 if report["clean"] else 1
+
+
+def cmd_chaos(args) -> int:
+    """Seeded chaos convergence check (the CI chaos-smoke entry point).
+
+    Runs the grid serially into a reference store, then through the
+    faulted broker/runner harness -- network faults plus a broker
+    kill+restart and a runner kill -- and requires the two stores to be
+    byte-identical and a final scrub to come back clean.
+    """
+    import shutil as _shutil
+    import tempfile as _tempfile
+
+    from repro.campaign.executor import run_campaign as _run_campaign
+    from repro.harness.runner import clear_cache
+    from repro.service.chaos import (
+        KILL_BROKER,
+        KILL_RUNNER,
+        NETWORK_KINDS,
+        FaultPlan,
+        FaultSpec,
+        run_chaos_campaign,
+        stores_identical,
+    )
+    from repro.service.index import ResultIndex
+    from repro.service.scrub import scrub_store
+
+    schemes = _csv(args.schemes)
+    workloads = _csv(args.workloads)
+    problem = _reject_unknown(schemes, workloads)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    base = RunConfig(
+        scheme=schemes[0], workload=workloads[0], num_mem_ops=args.ops,
+        num_cores=args.cores, dc_megabytes=args.dc_mb,
+    )
+    grid = GridSpec(schemes=schemes, workloads=workloads, base=base,
+                    axes=[("seed", _csv_ints(args.seeds))])
+    configs = grid.expand()
+
+    workdir = args.store or _tempfile.mkdtemp(prefix="repro-chaos-")
+    chaos_root = Path(workdir) / "chaos-store"
+    serial_root = Path(workdir) / "serial-store"
+    for root in (chaos_root, serial_root):
+        if root.exists():
+            _shutil.rmtree(root)
+
+    if not args.json:
+        print(f"chaos: {len(configs)} configs, seed {args.seed}, "
+              f"stores under {workdir}")
+    serial = _run_campaign(configs, jobs=1, store=ResultStore(serial_root),
+                           progress=None)
+    if not serial.ok:
+        print("error: serial reference campaign failed", file=sys.stderr)
+        return 1
+    # The serial reference populated the in-process memo; drop it so
+    # the chaos campaign's prescan cannot resolve the grid locally --
+    # the faulted broker/runner path must actually run and ingest.
+    clear_cache()
+
+    kinds = list(NETWORK_KINDS) + [KILL_RUNNER, KILL_BROKER]
+    plan = FaultPlan.seeded(args.seed, kinds=kinds)
+    plan.specs.append(FaultSpec(kind=KILL_BROKER, path="broker",
+                                at=max(1, args.kill_broker_at)))
+    result, report = run_chaos_campaign(
+        configs, chaos_root, plan=plan, runners=args.runners,
+        lease_s=args.lease, max_wait_s=args.max_wait,
+    )
+
+    identical, diffs = stores_identical(chaos_root, serial_root)
+    store = ResultStore(chaos_root)
+    scrub = scrub_store(store, ResultIndex(store.root))
+    ok = (identical and scrub["clean"]
+          and len(result.records) == len(configs))
+    if args.json:
+        _emit_json({
+            "ok": ok,
+            "configs": len(configs),
+            "records": len(result.records),
+            "identical": identical,
+            "differences": diffs,
+            "scrub_clean": scrub["clean"],
+            "report": report,
+        })
+        return 0 if ok else 1
+    fired = ", ".join(f[0] for f in report["plan"]["fired"]) or "none"
+    print(f"chaos: faults fired: {fired}")
+    print(f"chaos: broker restarts {report['broker_restarts']}, "
+          f"runner kills {report['runner_kills']}, "
+          f"requeues {report['requeues']}, "
+          f"duplicate completes {report['duplicate_completes']}")
+    if not identical:
+        for diff in diffs:
+            print(f"  store divergence: {diff}", file=sys.stderr)
+    print(f"chaos: {len(result.records)}/{len(configs)} records, "
+          f"store byte-identical to serial: {identical}, "
+          f"scrub clean: {scrub['clean']}")
+    return 0 if ok else 1
 
 
 def cmd_table1(args) -> int:
@@ -679,6 +819,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="stop after N batches (testing)")
     p_rn.add_argument("--verbose", action="store_true",
                       help="log claims/completions to stdout")
+    p_rn.add_argument("--give-up", type=float, default=600.0, metavar="S",
+                      help="exit 2 after the broker has been unreachable "
+                           "for S continuous seconds (default 600; a "
+                           "SIGTERM always drains the in-flight batch "
+                           "first and exits 0)")
     p_rn.set_defaults(func=cmd_runner)
 
     p_dash = sub.add_parser(
@@ -713,6 +858,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--json", action="store_true",
                        help="structured JSON output instead of tables")
     p_res.set_defaults(func=cmd_results)
+
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="verify store records (keys + checksums), repair the index",
+    )
+    p_scrub.add_argument("store", nargs="?", default=None,
+                         help="store directory (default: $REPRO_STORE or "
+                              "~/.cache/repro-nomad)")
+    p_scrub.add_argument("--audit", action="store_true",
+                         help="report damage but move/repair nothing")
+    p_scrub.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON")
+    p_scrub.set_defaults(func=cmd_scrub)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded service fault-injection campaign; proves the store "
+             "converges byte-identical to a serial run",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault-schedule seed (default 0)")
+    p_chaos.add_argument("--schemes", default="baseline,tdc,nomad")
+    p_chaos.add_argument("--workloads", default="sop")
+    p_chaos.add_argument("--seeds", default="1,2,3,4",
+                         help="seed axis of the grid (default 1,2,3,4)")
+    p_chaos.add_argument("--ops", type=int, default=300)
+    p_chaos.add_argument("--cores", type=int, default=2)
+    p_chaos.add_argument("--dc-mb", type=int, default=8)
+    p_chaos.add_argument("--runners", type=int, default=2,
+                         help="in-process runner threads (default 2)")
+    p_chaos.add_argument("--lease", type=float, default=3.0,
+                         help="broker lease seconds; short so killed "
+                              "runners requeue fast (default 3)")
+    p_chaos.add_argument("--kill-broker-at", type=int, default=2,
+                         help="also kill+restart the broker once N "
+                              "batches are done (default 2)")
+    p_chaos.add_argument("--max-wait", type=float, default=300.0,
+                         help="campaign convergence deadline (default 300)")
+    p_chaos.add_argument("--store", default=None,
+                         help="work directory for the chaos + serial "
+                              "stores (default: a fresh temp dir)")
+    p_chaos.add_argument("--json", action="store_true")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I")
     add_common(p_t1)

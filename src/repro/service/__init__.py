@@ -18,15 +18,33 @@ host's process pool, with zero new dependencies (stdlib ``http.server``,
   queue-backed executor path behind ``repro sweep --distributed``,
   resumable via the store (``--resume``);
 * :mod:`~repro.service.dashboard` -- a self-contained live HTML page
-  (``repro serve-dashboard`` or the broker's ``/dashboard``).
+  (``repro serve-dashboard`` or the broker's ``/dashboard``);
+* :mod:`~repro.service.journal` -- append-only, fsynced log of batch
+  state transitions; a restarted broker replays it and resumes
+  mid-campaign with no coordinator prescan;
+* :mod:`~repro.service.chaos` -- seeded fault injection (network,
+  HTTP, disk, process) proving convergence under every schedule
+  (``repro chaos``);
+* :mod:`~repro.service.scrub` -- store verification + index repair
+  (``repro scrub``).
 
 Everything speaks the JSON protocol in :mod:`repro.service.protocol`
 and is fully testable with broker + runners on localhost.
 """
 
 from repro.service.broker import Broker, BrokerServer, serve_broker
+from repro.service.chaos import (
+    ChaosKill,
+    FaultPlan,
+    FaultSpec,
+    FaultyFS,
+    faulty_fs,
+    run_chaos_campaign,
+    stores_identical,
+)
 from repro.service.coordinator import local_service, run_distributed_campaign
 from repro.service.index import ResultIndex
+from repro.service.journal import Journal
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BrokerClient,
@@ -35,6 +53,7 @@ from repro.service.protocol import (
     batch_id_for,
 )
 from repro.service.runner import runner_loop
+from repro.service.scrub import load_scrub_report, scrub_store
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -43,10 +62,20 @@ __all__ = [
     "BrokerError",
     "BrokerServer",
     "BrokerUnreachable",
+    "ChaosKill",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyFS",
+    "Journal",
     "ResultIndex",
     "batch_id_for",
+    "faulty_fs",
+    "load_scrub_report",
     "local_service",
+    "run_chaos_campaign",
     "run_distributed_campaign",
     "runner_loop",
+    "scrub_store",
     "serve_broker",
+    "stores_identical",
 ]

@@ -19,8 +19,14 @@ One broker serves many campaigns and many pull-based runners:
   :class:`~repro.campaign.store.ResultStore` (results), its quarantine
   (deterministic failures, reusing the PR 3 taxonomy), and the SQLite
   :class:`~repro.service.index.ResultIndex` -- the store is the durable
-  source of truth, so a broker restart loses queue position but never
-  completed work;
+  source of truth for result *data*;
+* **journal** -- every batch state transition
+  (enqueued/leased/completed/requeued) is additionally fsynced to an
+  append-only per-campaign :class:`~repro.service.journal.Journal`
+  before the broker acknowledges it, and replayed on startup: a broker
+  killed mid-campaign restarts with its queue position, leases, and
+  done-counts intact -- no coordinator prescan, no re-execution of
+  completed batches;
 * **status** -- one JSON snapshot (campaign progress, per-runner
   throughput and cache hit rates, overlap-fraction trend) feeding both
   the coordinator's poll loop and the live dashboard.
@@ -48,6 +54,7 @@ from repro.campaign.executor import CACHED, COMPLETED, QUARANTINED
 from repro.campaign.store import ResultStore, atomic_write_json
 from repro.harness.runner import RunConfig, merge_cache_counts
 from repro.service.index import ResultIndex
+from repro.service.journal import Journal, slim_item
 from repro.service.protocol import PROTOCOL_VERSION, BrokerError, check_protocol
 from repro.system.machine import MachineResult
 
@@ -121,6 +128,8 @@ class Broker:
         self._lock = threading.RLock()
         self._campaigns: Dict[str, _Campaign] = {}
         self._runners: Dict[str, _Runner] = {}
+        self.journal = Journal(store_root)
+        self.replayed_campaigns = self._replay_journal()
 
     # -- manifests (the durable half of the queue) -------------------------
 
@@ -157,6 +166,85 @@ class Broker:
             return []
         return sorted(p.stem for p in root.glob("*.json"))
 
+    # -- journal replay (the crash-recovery path) --------------------------
+
+    def _replay_journal(self) -> int:
+        """Rebuild queue/lease/done state from the on-disk journal.
+
+        Called once from ``__init__``: a restarted broker resumes every
+        campaign exactly where the journal left it -- completed batches
+        stay done (no re-execution), queued batches keep their order,
+        and leased batches get a fresh lease (their runner may still be
+        alive and heartbeating; if it died, normal expiry requeues
+        them).  No coordinator prescan or re-enqueue is needed.
+        """
+        replayed = self.journal.replay()
+        now = self.clock()
+        for cid in sorted(replayed):
+            campaign = _Campaign(campaign_id=cid, meta={}, created_at=now)
+            order: List[str] = []
+            for entry in replayed[cid]:
+                op = entry.get("op")
+                if op == "enqueue":
+                    bid = str(entry.get("batch_id", ""))
+                    if not bid or bid in campaign.batches:
+                        continue
+                    campaign.batches[bid] = _Batch(
+                        batch_id=bid,
+                        campaign_id=cid,
+                        indices=[int(i) for i in entry.get("indices", [])],
+                        configs=list(entry.get("configs", [])),
+                    )
+                    order.append(bid)
+                    if entry.get("meta"):
+                        campaign.meta.update(entry["meta"])
+                    continue
+                batch = campaign.batches.get(str(entry.get("batch_id", "")))
+                if batch is None:
+                    continue
+                if op == "lease" and batch.state != DONE:
+                    batch.state = LEASED
+                    batch.lease_runner = str(entry.get("runner_id", ""))
+                    batch.lease_expiry = now + self.lease_s
+                    batch.attempts = max(
+                        batch.attempts + 1, int(entry.get("attempt", 0))
+                    )
+                elif op == "requeue" and batch.state != DONE:
+                    batch.state = QUEUED
+                    batch.lease_runner = ""
+                    batch.requeues += 1
+                elif op == "reenqueue" and batch.state == DONE:
+                    # A coordinator resubmitted this batch after its
+                    # store backing vanished (partial store copy);
+                    # un-complete it so it runs again.
+                    batch.state = QUEUED
+                    batch.lease_runner = ""
+                    batch.requeues += 1
+                    for idx in batch.indices:
+                        if idx in campaign.records:
+                            del campaign.records[idx]
+                            campaign.runs_done = max(
+                                0, campaign.runs_done - 1
+                            )
+                elif op == "complete" and batch.state != DONE:
+                    batch.state = DONE
+                    batch.lease_runner = ""
+                    items = list(entry.get("items", []))
+                    campaign.runs_done += len(items)
+                    for item in items:
+                        try:
+                            campaign.records[int(item["index"])] = dict(item)
+                        except (KeyError, TypeError, ValueError):
+                            continue
+                    merge_cache_counts(
+                        campaign.cache_counts, entry.get("cache_stats") or {}
+                    )
+            campaign.queue.extend(
+                bid for bid in order if campaign.batches[bid].state == QUEUED
+            )
+            self._campaigns[cid] = campaign
+        return len(replayed)
+
     # -- queue -------------------------------------------------------------
 
     def enqueue(self, campaign_id: str, batches: List[dict], meta: dict,
@@ -178,6 +266,28 @@ class Broker:
             for spec in batches:
                 batch_id = str(spec["batch_id"])
                 if batch_id in campaign.batches:
+                    existing = campaign.batches[batch_id]
+                    # A coordinator only resubmits a batch it believes
+                    # needs running.  If the batch is DONE but its
+                    # results are no longer backed by the store (e.g. a
+                    # partial store copy lost files after the journal
+                    # recorded the completion), un-complete it so the
+                    # work actually happens again; otherwise the
+                    # journal would pin the loss forever.
+                    if (existing.state == DONE
+                            and not existing.completing
+                            and not self._batch_backed(campaign, existing)):
+                        try:
+                            self.journal.append(
+                                campaign_id, "reenqueue",
+                                batch_id=batch_id,
+                            )
+                        except OSError:
+                            skipped += 1
+                            continue
+                        self._reset_done_batch(campaign, existing)
+                        accepted += 1
+                        continue
                     skipped += 1
                     continue
                 batch = _Batch(
@@ -191,6 +301,17 @@ class Broker:
                         f"batch {batch_id}: {len(batch.indices)} indices "
                         f"vs {len(batch.configs)} configs"
                     )
+                # Journal before the in-memory commit: if the append
+                # fails the batch is simply not accepted (the client
+                # retries the whole enqueue, which dedupes); if we
+                # crash after it, replay recreates exactly this state.
+                self.journal.append(
+                    campaign_id, "enqueue",
+                    batch_id=batch_id,
+                    indices=batch.indices,
+                    configs=batch.configs,
+                    meta=dict(meta or {}),
+                )
                 campaign.batches[batch_id] = batch
                 campaign.queue.append(batch_id)
                 accepted += 1
@@ -199,6 +320,46 @@ class Broker:
         return {"accepted": accepted, "skipped": skipped,
                 "batches": len(self._campaigns[campaign_id].batches)}
 
+    def _batch_backed(self, campaign: _Campaign, batch: _Batch) -> bool:
+        """Whether every item of a DONE batch is still store-backed.
+
+        Completed/cached items must be retrievable from the result
+        store, quarantined ones from the quarantine; failed/timeout
+        items pin nothing, so a resubmission of them means "retry".
+        """
+        for pos, idx in enumerate(batch.indices):
+            item = campaign.records.get(idx)
+            if item is None:
+                return False
+            status = item.get("status", "")
+            try:
+                cfg = RunConfig.from_dict(
+                    item.get("config") or batch.configs[pos]
+                )
+            except (KeyError, TypeError, ValueError, IndexError):
+                return False
+            if status in (COMPLETED, CACHED):
+                if self.store.get(cfg) is None:
+                    return False
+            elif status == QUARANTINED:
+                if self.store.get_failure(cfg) is None:
+                    return False
+            else:
+                return False
+        return True
+
+    def _reset_done_batch(self, campaign: _Campaign, batch: _Batch) -> None:
+        """Flip a DONE batch back to QUEUED (mirrors replay's
+        ``reenqueue`` handler)."""
+        batch.state = QUEUED
+        batch.lease_runner = ""
+        batch.requeues += 1
+        for idx in batch.indices:
+            if idx in campaign.records:
+                del campaign.records[idx]
+                campaign.runs_done = max(0, campaign.runs_done - 1)
+        campaign.queue.append(batch.batch_id)
+
     def _expire_leases(self) -> None:
         now = self.clock()
         with self._lock:
@@ -206,6 +367,16 @@ class Broker:
                 for batch in campaign.batches.values():
                     if (batch.state == LEASED and not batch.completing
                             and now >= batch.lease_expiry):
+                        try:
+                            self.journal.append(
+                                campaign.campaign_id, "requeue",
+                                batch_id=batch.batch_id,
+                                runner_id=batch.lease_runner,
+                            )
+                        except OSError:
+                            # Leave the batch leased; the next expiry
+                            # sweep retries the append.
+                            continue
                         batch.state = QUEUED
                         batch.lease_runner = ""
                         batch.requeues += 1
@@ -230,6 +401,19 @@ class Broker:
                     batch = campaign.batches[batch_id]
                     if batch.state != QUEUED:
                         continue  # stale queue entry (e.g. done meanwhile)
+                    # Journal the lease before granting it (heartbeat
+                    # renewals are deliberately not journaled -- replay
+                    # just issues a fresh full lease).  On append
+                    # failure the batch goes back to the queue head.
+                    try:
+                        self.journal.append(
+                            campaign.campaign_id, "lease",
+                            batch_id=batch_id, runner_id=runner_id,
+                            attempt=batch.attempts + 1,
+                        )
+                    except OSError:
+                        campaign.queue.appendleft(batch_id)
+                        raise
                     batch.state = LEASED
                     batch.lease_runner = runner_id
                     batch.lease_expiry = now + self.lease_s
@@ -270,10 +454,20 @@ class Broker:
         # BEFORE the batch flips to DONE: the coordinator breaks its
         # drain loop the moment /status counts every batch done and
         # immediately fetches /records, so each item must be visible by
-        # the time the done count includes this batch.
+        # the time the done count includes this batch.  The journal
+        # entry lands after ingest and before the flip: a crash in
+        # between replays as done (items already durable in the store),
+        # a crash before it replays as leased (requeue + idempotent
+        # re-ingest).
         try:
             for item in items:
                 self._ingest_item(campaign, item)
+            self.journal.append(
+                campaign_id, "complete",
+                batch_id=batch_id, runner_id=runner_id,
+                items=[slim_item(i) for i in items],
+                cache_stats=dict(cache_stats or {}),
+            )
         except BaseException:
             # Leave the batch leased: the lease expires, the batch
             # requeues, and a re-run's ingest converges (store writes
@@ -403,6 +597,8 @@ class Broker:
             "uptime_s": round(now - self.started_at, 3),
             "store": self.store.stats(),
             "index": self.index.stats(),
+            "journal": self.journal.stats(),
+            "replayed_campaigns": self.replayed_campaigns,
             "lease_s": self.lease_s,
         }
 
@@ -411,7 +607,25 @@ class Broker:
             campaign = self._campaigns.get(campaign_id)
             if campaign is None:
                 raise BrokerError(f"unknown campaign {campaign_id!r}")
-            return [campaign.records[i] for i in sorted(campaign.records)]
+            items = [
+                dict(campaign.records[i]) for i in sorted(campaign.records)
+            ]
+        # Items restored from the journal are slim (no result payload);
+        # rehydrate them from the content-addressed store, which held
+        # the data across the restart.
+        for item in items:
+            if item.get("result") or item.get("status") not in (
+                COMPLETED, CACHED
+            ):
+                continue
+            try:
+                cfg = RunConfig.from_dict(item["config"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            result = self.store.get(cfg)
+            if result is not None:
+                item["result"] = result.to_dict()
+        return items
 
 
 # ---------------------------------------------------------------------------
@@ -422,10 +636,30 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     # Set by BrokerServer:
     broker: Broker = None  # type: ignore[assignment]
     token: Optional[str] = None
+    fault_plan = None  # Optional[repro.service.chaos.FaultPlan]
     protocol_version = "HTTP/1.1"
 
     def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
         pass  # keep CI logs readable; the broker has /status
+
+    # -- chaos (server-side fault injection) -------------------------------
+
+    def _chaos_preempt(self, path: str) -> bool:
+        """Consult the fault plan once per request.  Returns True when
+        an injected 500 already answered (the request body is never
+        read, so the connection must close); arms response truncation
+        for :meth:`_reply` otherwise."""
+        self._chaos_truncate = False
+        if self.fault_plan is None:
+            return False
+        actions = self.fault_plan.server_actions(path)
+        if actions.get("truncate"):
+            self._chaos_truncate = True
+        if actions.get("http_500"):
+            self.close_connection = True
+            self._reply({"error": "chaos: injected HTTP 500"}, code=500)
+            return True
+        return False
 
     # -- plumbing ----------------------------------------------------------
 
@@ -438,6 +672,12 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             body = json.dumps(payload).encode()
         else:
             body = payload  # type: ignore[assignment]
+        if getattr(self, "_chaos_truncate", False) and code == 200:
+            # Truncated body with a matching Content-Length: the client
+            # reads a short, unparseable JSON document and retries.
+            self._chaos_truncate = False
+            body = body[: max(1, len(body) // 2)]
+            self.close_connection = True
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -480,6 +720,8 @@ class _BrokerHandler(BaseHTTPRequestHandler):
 
     def do_POST(self):  # noqa: N802 - stdlib name
         path = urlparse(self.path).path
+        if self._chaos_preempt(path):
+            return
         if not self._authorized():
             return self._reply(
                 {"error": "missing or invalid X-Repro-Token"}, code=401
@@ -519,6 +761,8 @@ class _BrokerHandler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802 - stdlib name
         parsed = urlparse(self.path)
+        if self._chaos_preempt(parsed.path):
+            return
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         broker = self.broker
         if parsed.path == "/status":
@@ -559,14 +803,15 @@ class BrokerServer:
     """
 
     def __init__(self, broker: Broker, host: str = "127.0.0.1",
-                 port: int = 0, token: Optional[str] = None):
+                 port: int = 0, token: Optional[str] = None,
+                 fault_plan=None):
         self.broker = broker
         if token is None:
             token = os.environ.get("REPRO_BROKER_TOKEN") or None
         self.token = token
         handler = type(
             "BoundBrokerHandler", (_BrokerHandler,),
-            {"broker": broker, "token": token},
+            {"broker": broker, "token": token, "fault_plan": fault_plan},
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True

@@ -47,7 +47,12 @@ from repro.campaign.executor import (
 )
 from repro.campaign.grid import GridSpec
 from repro.harness.runner import RunConfig
-from repro.service.protocol import BrokerClient, BrokerError, batch_id_for
+from repro.service.protocol import (
+    BrokerClient,
+    BrokerError,
+    BrokerUnreachable,
+    batch_id_for,
+)
 from repro.system.machine import MachineResult
 
 
@@ -86,6 +91,7 @@ def run_distributed_campaign(
     progress=None,
     poll_s: float = 0.25,
     max_wait_s: Optional[float] = None,
+    client: Optional[BrokerClient] = None,
 ) -> CampaignResult:
     """Drain *grid* through a broker's runner fleet.
 
@@ -95,10 +101,17 @@ def run_distributed_campaign(
     expected fleet-wide worker-slot count -- it only tunes batch
     chunking, not any local parallelism.  With ``resume=True`` the grid
     may be ``None``; the config list is reloaded from the campaign's
-    persisted manifest.
+    persisted manifest.  ``client`` overrides the default
+    :class:`BrokerClient` (the chaos harness injects fault-wired ones).
+
+    An unreachable broker fails fast (one probe, no retry storm) before
+    any work is planned; a broker that goes away *mid-drain* is ridden
+    out -- the journal-backed broker comes back with its queue intact,
+    so the coordinator just keeps polling until ``max_wait_s``.
     """
     t0 = time.monotonic()
-    client = BrokerClient(broker)
+    client = client or BrokerClient(broker)
+    client.probe()
     cid = campaign_id or new_campaign_id()
 
     tel_cfg = _as_campaign_telemetry(telemetry)
@@ -160,7 +173,18 @@ def run_distributed_campaign(
         last_done = -1
         last_beat = time.monotonic()
         while True:
-            status = client.status(cid)
+            try:
+                status = client.status(cid)
+            except BrokerUnreachable:
+                # A restarting broker (crash recovery, redeploy) is a
+                # transient outage, not a failed campaign: it replays
+                # its journal and picks up where it stopped.  Keep
+                # polling until the overall deadline says otherwise.
+                if (max_wait_s is not None
+                        and time.monotonic() - t0 > max_wait_s):
+                    raise
+                time.sleep(poll_s)
+                continue
             campaign = status.get("campaigns", {}).get(cid, {})
             done = int(campaign.get("done", 0))
             total = int(campaign.get("batches", len(submitted)))

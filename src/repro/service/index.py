@@ -110,6 +110,13 @@ class ResultIndex:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.db_path = self.root / db_name
+        #: Cumulative repair activity this process: rows re-added by
+        #: ``sync_from_store`` and rows dropped by ``forget`` (scrub).
+        #: Surfaced by ``repro results --json`` so operators can see
+        #: what a repair changed.
+        self.repair_counts: Dict[str, int] = {
+            "synced_rows": 0, "forgotten_rows": 0,
+        }
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(
             self.db_path, check_same_thread=False, isolation_level=None
@@ -247,7 +254,11 @@ class ResultIndex:
 
     def forget(self, key: str) -> None:
         with self._lock:
-            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+            cur = self._conn.execute(
+                "DELETE FROM results WHERE key = ?", (key,)
+            )
+            if cur.rowcount > 0:
+                self.repair_counts["forgotten_rows"] += cur.rowcount
 
     # -- sync --------------------------------------------------------------
 
@@ -284,6 +295,7 @@ class ResultIndex:
                 version=str(payload.get("version", "")),
             )
             added += 1
+        self.repair_counts["synced_rows"] += added
         return added
 
     # -- query -------------------------------------------------------------
@@ -359,6 +371,7 @@ class ResultIndex:
         return {
             "rows": sum(by_status.values()),
             "by_status": by_status,
+            "repairs": dict(self.repair_counts),
             "db": str(self.db_path),
             "schema_version": SCHEMA_VERSION,
         }

@@ -28,6 +28,7 @@ workers get -- before surfacing as :class:`BrokerUnreachable`.
 from __future__ import annotations
 
 import hashlib
+import http.client
 import json
 import os
 import socket
@@ -51,6 +52,10 @@ class BrokerError(RuntimeError):
 
 class BrokerUnreachable(BrokerError):
     """No (valid) answer after exhausting the reconnect budget."""
+
+
+class _ChaosDropped(ConnectionError):
+    """An injected request drop (never sent); retried like a real one."""
 
 
 def batch_id_for(campaign_id: str, configs: Sequence[dict]) -> str:
@@ -94,14 +99,19 @@ class BrokerClient:
         self,
         broker: str,
         timeout: float = 30.0,
-        backoff: Backoff = CLIENT_BACKOFF,
+        backoff: Optional[Backoff] = None,
         max_tries: int = 6,
         sleep: Callable[[float], None] = time.sleep,
         token: Optional[str] = None,
+        fault_plan=None,
+        fault_role: str = "runner",
+        deadline_s: Optional[float] = None,
     ):
         self.base_url = normalize_broker_url(broker)
         self.timeout = timeout
-        self.backoff = backoff
+        # Module-level lookup at construction (not def) time, so tests
+        # and operators can swap protocol.CLIENT_BACKOFF globally.
+        self.backoff = backoff if backoff is not None else CLIENT_BACKOFF
         self.max_tries = max_tries
         self._sleep = sleep
         # Matches the broker's default: one exported REPRO_BROKER_TOKEN
@@ -109,8 +119,27 @@ class BrokerClient:
         if token is None:
             token = os.environ.get("REPRO_BROKER_TOKEN") or None
         self.token = token
+        #: Optional :class:`repro.service.chaos.FaultPlan`; when set,
+        #: every request consults it for injected drop/delay/dup/reset
+        #: faults (and ChaosKill, which propagates).
+        self.fault_plan = fault_plan
+        self.fault_role = fault_role
+        #: Total wall-clock budget for one request's retry loop.  The
+        #: attempt budget (``max_tries``) bounds the count; this bounds
+        #: the time, so a dead broker surfaces as BrokerUnreachable no
+        #: later than ``deadline_s`` after the first attempt.
+        self.deadline_s = deadline_s
 
     # -- transport ---------------------------------------------------------
+
+    def _netloc(self) -> str:
+        return urllib.parse.urlsplit(self.base_url).netloc
+
+    def _send(self, url: str, data: Optional[bytes],
+              headers: dict) -> dict:
+        req = urllib.request.Request(url, data=data, headers=headers)
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return json.loads(resp.read().decode())
 
     def _request(self, path: str, payload: Optional[dict] = None,
                  params: Optional[dict] = None, retry: bool = True) -> dict:
@@ -127,33 +156,68 @@ class BrokerClient:
             data = json.dumps(body).encode()
             headers["Content-Type"] = "application/json"
         tries = self.max_tries if retry else 1
+        deadline = (
+            time.monotonic() + self.deadline_s
+            if retry and self.deadline_s is not None else None
+        )
         last_error = "no attempt made"
-        for attempt in range(1, tries + 1):
-            req = urllib.request.Request(url, data=data, headers=headers)
+        attempt = 0
+        while attempt < tries:
+            attempt += 1
             try:
-                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                    answer = json.loads(resp.read().decode())
+                actions = (
+                    self.fault_plan.client_actions(path, self.fault_role)
+                    if self.fault_plan is not None else None
+                )
+                if actions:
+                    if actions.get("delay"):
+                        # Holds this request while concurrently issued
+                        # ones overtake it -- delay and reorder faults.
+                        self._sleep(float(actions["delay"]))
+                    if actions.get("drop"):
+                        raise _ChaosDropped("chaos: request dropped")
+                answer = self._send(url, data, headers)
+                if actions and actions.get("dup"):
+                    # Duplicate delivery of the same payload; the
+                    # broker must dedupe (idempotent enqueue, at-most-
+                    # once complete), so the extra answer is discarded.
+                    try:
+                        self._send(url, data, headers)
+                    except Exception:
+                        pass
+                if actions and actions.get("reset"):
+                    # The request *was* delivered; losing the response
+                    # forces a retry of an already-applied call.
+                    raise ConnectionResetError("chaos: connection reset")
                 check_protocol(answer, side="broker")
                 if answer.get("error"):
                     raise BrokerError(str(answer["error"]))
                 return answer
             except urllib.error.HTTPError as exc:
-                # An HTTP-level error is an application answer, not a
-                # transport flake: surface it without retrying.
                 try:
                     detail = json.loads(exc.read().decode()).get("error", "")
                 except Exception:
                     detail = ""
-                raise BrokerError(
-                    f"broker rejected {path}: HTTP {exc.code} {detail}"
-                ) from exc
+                if exc.code >= 500 and retry:
+                    # 5xx is the broker (or a proxy) failing, not an
+                    # application answer -- retryable, like a reset.
+                    last_error = f"HTTP {exc.code} {detail}".strip()
+                else:
+                    # 4xx is an application answer: surface it without
+                    # retrying.
+                    raise BrokerError(
+                        f"broker rejected {path}: HTTP {exc.code} {detail}"
+                    ) from exc
             except (urllib.error.URLError, ConnectionError, socket.timeout,
-                    TimeoutError, json.JSONDecodeError) as exc:
+                    TimeoutError, json.JSONDecodeError,
+                    http.client.HTTPException) as exc:
                 last_error = f"{type(exc).__name__}: {exc}"
-                if attempt < tries:
-                    self.backoff.sleep(attempt, sleep=self._sleep)
+            if attempt < tries:
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                self.backoff.sleep(attempt, sleep=self._sleep)
         raise BrokerUnreachable(
-            f"broker at {self.base_url} unreachable after {tries} "
+            f"broker unreachable at {self._netloc()} after {attempt} "
             f"attempt(s): {last_error}"
         )
 
@@ -221,6 +285,16 @@ class BrokerClient:
             return True
         except BrokerError:
             return False
+
+    def probe(self, retry: bool = True) -> dict:
+        """A reachability check with the normal (bounded) retry budget.
+
+        Raises :class:`BrokerUnreachable` with the one-line operator
+        message (``broker unreachable at HOST:PORT ...``) -- the CLI
+        surfaces it verbatim and exits 2 instead of spinning forever or
+        dumping a traceback.
+        """
+        return self._request("/status", retry=retry)
 
 
 # -- record <-> item helpers ------------------------------------------------

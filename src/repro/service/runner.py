@@ -22,6 +22,7 @@ elsewhere.  All broker I/O retries with the shared jittered-exponential
 from __future__ import annotations
 
 import os
+import signal
 import socket
 import threading
 import time
@@ -129,6 +130,9 @@ def runner_loop(
     max_batches: Optional[int] = None,
     client: Optional[BrokerClient] = None,
     verbose: bool = False,
+    stop: Optional[threading.Event] = None,
+    give_up_after_s: Optional[float] = 600.0,
+    install_signal_handlers: bool = True,
 ) -> int:
     """Claim-execute-report until stopped; returns batches completed.
 
@@ -136,92 +140,142 @@ def runner_loop(
     no work for that long -- CI and embedded local services use it;
     a long-lived fleet runner omits it and polls forever.
     ``max_batches`` bounds the run for tests.
+
+    Graceful degradation: SIGTERM (when handlers can be installed --
+    main thread only) or an externally set ``stop`` event *drains* --
+    the in-flight batch finishes and its records are reported before
+    the loop returns, so nothing is recomputed elsewhere.  A broker
+    that stays unreachable for ``give_up_after_s`` of continuous
+    failed claims raises :class:`BrokerUnreachable` instead of backing
+    off forever (``None`` disables the limit).
     """
+    own_client = client is None
     client = client or BrokerClient(broker)
     rid = runner_id or default_runner_id()
     hb = HeartbeatStats()
     done = 0
     idle_since: Optional[float] = None
+    unreachable_since: Optional[float] = None
+    stop = stop or threading.Event()
 
     def _say(msg: str) -> None:
         if verbose:
             print(f"runner {rid}: {msg}", flush=True)
 
-    while max_batches is None or done < max_batches:
+    def _on_sigterm(signum, frame):
+        _say("SIGTERM: draining in-flight batch, then exiting")
+        stop.set()
+
+    prev_handler = None
+    handler_installed = False
+    if install_signal_handlers:
         try:
-            grant = client.claim(rid, max_batches=1)
-        except BrokerUnreachable:
-            if exit_when_idle is not None:
-                # An embedded/CI runner whose broker went away is done.
-                _say("broker unreachable; exiting")
-                return done
-            continue  # claim() already backed off between attempts
-        batches = grant.get("batches", [])
-        if not batches:
-            now = time.monotonic()
-            if idle_since is None:
-                idle_since = now
-            if (exit_when_idle is not None
-                    and now - idle_since >= exit_when_idle):
-                _say(f"idle for {exit_when_idle}s; exiting")
-                return done
-            time.sleep(poll_s)
-            continue
-        idle_since = None
-        lease_s = float(grant.get("lease_s") or 60.0)
-        for batch in batches:
-            _say(f"claimed batch {batch['batch_id']} "
-                 f"({len(batch['configs'])} configs)")
-            t0 = time.monotonic()
-            last_progress: dict = {}
+            prev_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+            handler_installed = True
+        except ValueError:
+            pass  # not the main thread (embedded/test runner loops)
 
-            def on_event(kind: str, info: dict) -> None:
-                # Forward campaign progress as a broker heartbeat; a
-                # dropped heartbeat is fine (lease grace absorbs it).
-                last_progress.update(info)
-                hb.observe(completed=info.get("completed", 0))
-                client.heartbeat(rid, make_heartbeat(
-                    rid, info, cache_counts(), hb
-                ))
+    if own_client:
+        # Fail fast with the one-line operator error before settling
+        # into the claim loop -- `repro runner` against a dead broker
+        # must not look like a healthy idle runner.
+        client.probe()
 
-            # Progress events only fire when a run *completes*, so a
-            # single run longer than the lease would starve the broker
-            # of heartbeats and get the batch requeued (and re-executed
-            # elsewhere) mid-run.  A timer thread keeps the lease warm
-            # regardless of run length.
-            stop_renewal = threading.Event()
+    try:
+        while (max_batches is None or done < max_batches) \
+                and not stop.is_set():
+            try:
+                grant = client.claim(rid, max_batches=1)
+            except BrokerUnreachable:
+                if exit_when_idle is not None:
+                    # An embedded/CI runner whose broker went away is
+                    # done.
+                    _say("broker unreachable; exiting")
+                    return done
+                now = time.monotonic()
+                if unreachable_since is None:
+                    unreachable_since = now
+                if (give_up_after_s is not None
+                        and now - unreachable_since >= give_up_after_s):
+                    raise
+                continue  # claim() already backed off between attempts
+            unreachable_since = None
+            batches = grant.get("batches", [])
+            if not batches:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if (exit_when_idle is not None
+                        and now - idle_since >= exit_when_idle):
+                    _say(f"idle for {exit_when_idle}s; exiting")
+                    return done
+                stop.wait(poll_s)
+                continue
+            idle_since = None
+            lease_s = float(grant.get("lease_s") or 60.0)
+            for batch in batches:
+                _say(f"claimed batch {batch['batch_id']} "
+                     f"({len(batch['configs'])} configs)")
+                t0 = time.monotonic()
+                last_progress: dict = {}
 
-            def _renew_lease() -> None:
-                interval = max(0.1, lease_s / 3.0)
-                while not stop_renewal.wait(interval):
+                def on_event(kind: str, info: dict) -> None:
+                    # Forward campaign progress as a broker heartbeat;
+                    # a dropped heartbeat is fine (lease grace absorbs
+                    # it).
+                    last_progress.update(info)
+                    hb.observe(completed=info.get("completed", 0))
                     client.heartbeat(rid, make_heartbeat(
-                        rid, dict(last_progress), cache_counts(), hb
+                        rid, info, cache_counts(), hb
                     ))
 
-            renewal = threading.Thread(
-                target=_renew_lease, name=f"lease-renewal-{rid}",
-                daemon=True,
-            )
-            renewal.start()
-            try:
-                items, delta = execute_batch(
-                    batch, jobs=jobs, on_event=on_event
+                # Progress events only fire when a run *completes*, so
+                # a single run longer than the lease would starve the
+                # broker of heartbeats and get the batch requeued (and
+                # re-executed elsewhere) mid-run.  A timer thread keeps
+                # the lease warm regardless of run length.
+                stop_renewal = threading.Event()
+
+                def _renew_lease() -> None:
+                    interval = max(0.1, lease_s / 3.0)
+                    while not stop_renewal.wait(interval):
+                        client.heartbeat(rid, make_heartbeat(
+                            rid, dict(last_progress), cache_counts(), hb
+                        ))
+
+                renewal = threading.Thread(
+                    target=_renew_lease, name=f"lease-renewal-{rid}",
+                    daemon=True,
                 )
-            finally:
-                stop_renewal.set()
-                renewal.join(timeout=10)
-            for item in items:
-                overlap = (item.get("telemetry") or {}).get(
-                    "overlap_fraction"
+                renewal.start()
+                try:
+                    items, delta = execute_batch(
+                        batch, jobs=jobs, on_event=on_event
+                    )
+                finally:
+                    stop_renewal.set()
+                    renewal.join(timeout=10)
+                for item in items:
+                    overlap = (item.get("telemetry") or {}).get(
+                        "overlap_fraction"
+                    )
+                    if overlap is not None:
+                        hb.observe_overlap(overlap)
+                # Even when stop was requested mid-batch (SIGTERM
+                # drain), the finished batch is reported before the
+                # loop exits -- the work is never thrown away.
+                answer = client.complete(
+                    rid, batch["campaign_id"], batch["batch_id"], items,
+                    cache_stats=delta,
                 )
-                if overlap is not None:
-                    hb.observe_overlap(overlap)
-            answer = client.complete(
-                rid, batch["campaign_id"], batch["batch_id"], items,
-                cache_stats=delta,
-            )
-            done += 1
-            _say(f"batch {batch['batch_id']} done: {len(items)} records "
-                 f"in {time.monotonic() - t0:.2f}s "
-                 f"(accepted={answer.get('accepted')})")
-    return done
+                done += 1
+                _say(f"batch {batch['batch_id']} done: "
+                     f"{len(items)} records "
+                     f"in {time.monotonic() - t0:.2f}s "
+                     f"(accepted={answer.get('accepted')})")
+        if stop.is_set():
+            _say(f"stopped after draining; {done} batch(es) completed")
+        return done
+    finally:
+        if handler_installed:
+            signal.signal(signal.SIGTERM, prev_handler)

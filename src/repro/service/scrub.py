@@ -1,0 +1,152 @@
+"""Store verification and repair (``repro scrub STORE``).
+
+The content-addressed store is self-describing: every record's file
+name is the sha256 of its own ``{config, version}`` and every payload
+carries an ``integrity`` checksum over its content.  Scrub exploits
+both to find damage no matter how it happened -- torn writes (invalid
+JSON), bit flips (integrity mismatch), renamed or misplaced files
+(content-key mismatch), hand-edited payloads -- then repairs:
+
+1. each damaged file is moved to ``<store>/corrupt/`` (out of the
+   address space, so ``get``/prescan miss and the config is simply
+   recomputed by the next campaign);
+2. its SQLite index row is dropped (:meth:`ResultIndex.forget`);
+3. the index is reconciled with the directory via
+   :meth:`ResultIndex.sync_from_store` -- which also adopts healthy
+   records the index never saw.
+
+The report is returned *and* persisted to
+``<store>/service/scrub_report.json`` so ``repro results --json`` can
+surface what the last repair changed.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.campaign.store import (
+    ResultStore,
+    atomic_write_json,
+    content_key,
+    payload_integrity,
+)
+
+SCRUB_REPORT = "scrub_report.json"
+
+
+def scrub_report_path(store_root) -> Path:
+    return Path(store_root) / "service" / SCRUB_REPORT
+
+
+def load_scrub_report(store_root) -> Optional[dict]:
+    """The last persisted scrub report, or None."""
+    try:
+        payload = json.loads(scrub_report_path(store_root).read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _verdict(path: Path, payload, expect_field: str,
+             report: dict) -> Optional[str]:
+    """Why *path* is damaged, or None if it is healthy."""
+    if not isinstance(payload, dict):
+        return "not a JSON object"
+    cfg = payload.get("config")
+    version = payload.get("version")
+    if not isinstance(cfg, dict) or not isinstance(version, str):
+        return "missing config/version"
+    key = content_key(cfg, version)
+    if key != path.stem:
+        return f"content-key mismatch (payload hashes to {key[:12]}...)"
+    if expect_field not in payload:
+        return f"missing {expect_field!r} payload"
+    integrity = payload.get("integrity")
+    if integrity is None:
+        # Pre-integrity-stamp record: key-verified but not bit-proof.
+        report["missing_integrity"] += 1
+        return None
+    if integrity != payload_integrity(payload):
+        return "integrity checksum mismatch"
+    return None
+
+
+def scrub_store(store: ResultStore, index=None,
+                repair: bool = True) -> dict:
+    """Verify every record in *store*; quarantine damage, fix the index.
+
+    With ``repair=False`` nothing is moved or forgotten -- pure audit.
+    Returns the report dict (also persisted beside the journal); the
+    interesting keys are ``clean`` (bool), ``corrupt`` (result records
+    that failed), ``quarantined_corrupt`` (failure records that
+    failed), and ``synced_rows`` (index rows re-added from disk).
+    """
+    root = Path(store.root)
+    report: dict = {
+        "checked": 0,
+        "ok": 0,
+        "missing_integrity": 0,
+        "corrupt": [],
+        "quarantined_corrupt": [],
+        "moved": 0,
+        "forgotten_rows": 0,
+        "synced_rows": 0,
+        "repair": bool(repair),
+    }
+    corrupt_dir = root / "corrupt"
+
+    def sweep(paths: List[Path], expect_field: str, bucket: str) -> None:
+        for path in paths:
+            report["checked"] += 1
+            reason = None
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                payload, reason = None, "unreadable or torn (invalid JSON)"
+            if reason is None:
+                reason = _verdict(path, payload, expect_field, report)
+            if reason is None:
+                report["ok"] += 1
+                continue
+            entry = {
+                "path": str(path.relative_to(root)),
+                "key": path.stem,
+                "reason": reason,
+            }
+            if repair:
+                corrupt_dir.mkdir(parents=True, exist_ok=True)
+                dest = corrupt_dir / path.name
+                n = 1
+                while dest.exists():
+                    dest = corrupt_dir / f"{path.stem}.{n}{path.suffix}"
+                    n += 1
+                shutil.move(str(path), str(dest))
+                entry["moved_to"] = str(dest.relative_to(root))
+                report["moved"] += 1
+                if index is not None:
+                    index.forget(path.stem)
+                    report["forgotten_rows"] += 1
+            report[bucket].append(entry)
+
+    result_paths = [
+        p for p in sorted(root.glob("*/*.json"))
+        if len(p.parent.name) == 2
+    ]
+    sweep(result_paths, "result", "corrupt")
+    qdir = root / "quarantine"
+    sweep(
+        sorted(qdir.glob("*.json")) if qdir.exists() else [],
+        "failure", "quarantined_corrupt",
+    )
+
+    if index is not None and repair:
+        report["synced_rows"] = index.sync_from_store(store)
+    report["clean"] = not report["corrupt"] \
+        and not report["quarantined_corrupt"]
+    report["at"] = time.time()
+    atomic_write_json(scrub_report_path(root), report)
+    return report

@@ -150,3 +150,124 @@ def test_atomic_write_json_failure_cleans_up(tmp_path):
         pass
     assert not target.exists()
     assert list(tmp_path.glob("*.tmp")) == []
+
+
+# -- the fs shim + durability ordering (chaos-layer seam) -------------------
+
+
+class RecordingFS:
+    """A shim that logs every call in order (and can inject faults)."""
+
+    def __init__(self, fail_write=False):
+        from repro.campaign.store import _RealFS
+
+        self.real = _RealFS()
+        self.calls = []
+        self.fail_write = fail_write
+
+    def write(self, fh, data, path=None):
+        self.calls.append(("write", str(path)))
+        if self.fail_write:
+            import errno
+
+            raise OSError(errno.ENOSPC, "no space left on device")
+        return self.real.write(fh, data, path=path)
+
+    def fsync(self, fileno):
+        self.calls.append(("fsync", None))
+        self.real.fsync(fileno)
+
+    def replace(self, src, dst):
+        self.calls.append(("replace", str(dst)))
+        self.real.replace(src, dst)
+
+    def fsync_dir(self, path):
+        self.calls.append(("fsync_dir", str(path)))
+        self.real.fsync_dir(path)
+
+
+def _with_fs(fs):
+    from contextlib import contextmanager
+
+    from repro.campaign.store import install_fs
+
+    @contextmanager
+    def ctx():
+        prev = install_fs(fs)
+        try:
+            yield fs
+        finally:
+            install_fs(prev)
+
+    return ctx()
+
+
+def test_atomic_write_fsyncs_parent_dir_after_replace(tmp_path):
+    """The durability ordering: data fsync -> rename -> directory
+    fsync.  Without the final step the rename itself can be lost on
+    power failure even though the file's bytes were durable."""
+    from repro.campaign.store import atomic_write_json
+
+    target = tmp_path / "deep" / "x.json"
+    with _with_fs(RecordingFS()) as fs:
+        atomic_write_json(target, {"a": 1})
+    ops = [op for op, _ in fs.calls]
+    assert ops == ["write", "fsync", "replace", "fsync_dir"]
+    assert fs.calls[0][1] == str(target)  # destination path, not tmp
+    assert fs.calls[3][1] == str(target.parent)
+
+
+def test_atomic_write_enospc_leaves_no_litter_and_no_target(tmp_path):
+    from repro.campaign.store import atomic_write_json
+
+    target = tmp_path / "x.json"
+    with _with_fs(RecordingFS(fail_write=True)):
+        try:
+            atomic_write_json(target, {"a": 1})
+        except OSError:
+            pass
+        else:
+            raise AssertionError("ENOSPC did not surface")
+    assert not target.exists()
+    assert list(tmp_path.glob("*.tmp")) == []
+    # The shim is restored: the next write succeeds for real.
+    atomic_write_json(target, {"a": 1})
+    assert target.exists()
+
+
+def test_store_writes_go_through_installed_shim(tmp_path):
+    store = ResultStore(tmp_path)
+    with _with_fs(RecordingFS()) as fs:
+        store.put(SMALL, _result())
+        store.put_failure(SMALL.with_(seed=2), FAILURE)
+    written = [p for op, p in fs.calls if op == "write"]
+    assert str(store.path_for(SMALL)) in written
+    assert str(store.failure_path_for(SMALL.with_(seed=2))) in written
+
+
+def test_payloads_carry_verifiable_integrity_stamp(tmp_path):
+    import json
+
+    from repro.campaign.store import payload_integrity
+
+    store = ResultStore(tmp_path)
+    for path in (store.put(SMALL, _result()),
+                 store.put_failure(SMALL.with_(seed=2), FAILURE)):
+        payload = json.loads(path.read_text())
+        assert payload["integrity"] == payload_integrity(payload)
+
+
+def test_bitflipped_result_value_degrades_to_miss(tmp_path):
+    """The config comparison cannot see a flipped result value; the
+    integrity stamp must."""
+    import json
+
+    store = ResultStore(tmp_path)
+    path = store.put(SMALL, _result())
+    payload = json.loads(path.read_text())
+    key = next(iter(payload["result"]))
+    value = payload["result"][key]
+    payload["result"][key] = (value + 1 if isinstance(value, (int, float))
+                              else "flipped")
+    path.write_text(json.dumps(payload))
+    assert store.get(SMALL) is None  # miss, never a wrong result

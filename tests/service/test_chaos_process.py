@@ -1,0 +1,127 @@
+"""Process-level graceful degradation: SIGTERM drain, unreachable exits.
+
+These tests use real subprocesses (the ``repro runner`` CLI) for the
+signal semantics, and in-process ``main()`` calls for the one-line
+unreachable-broker errors.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.campaign.pool import Backoff
+from repro.cli import main
+from repro.harness.runner import RunConfig
+from repro.service.broker import Broker, BrokerServer
+from repro.service.protocol import BrokerClient, batch_id_for
+
+#: Long enough (~1.5s of simulation) that SIGTERM reliably lands while
+#: the batch is executing.
+SLOW = [
+    RunConfig(scheme="baseline", workload="sop", num_mem_ops=30_000,
+              num_cores=2, dc_megabytes=8, seed=s)
+    for s in (1, 2)
+]
+
+
+def _runner_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in sys.path if p]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def test_sigterm_mid_batch_drains_and_exits_zero(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    broker = Broker(store.root, lease_s=30.0)
+    cid = "drain"
+    payloads = [c.to_dict() for c in SLOW]
+    with BrokerServer(broker) as server:
+        client = BrokerClient(server.url)
+        client.enqueue(cid, [{
+            "batch_id": batch_id_for(cid, payloads),
+            "indices": [0, 1],
+            "configs": payloads,
+        }], {}, manifest=payloads)
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "runner",
+             "--broker", server.url, "--poll", "0.1", "--verbose"],
+            env=_runner_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            # Wait until the batch is actually leased (claimed), then
+            # SIGTERM mid-execution.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if client.status(cid)["campaigns"][cid]["leased"] == 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("runner never claimed the batch")
+            time.sleep(0.3)  # well inside the ~1.5s batch execution
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        # Drained: exit 0, the in-flight batch was completed and
+        # reported, nothing is left to re-execute elsewhere.
+        assert proc.returncode == 0, (out, err)
+        assert "draining" in out
+        status = client.status(cid)["campaigns"][cid]
+    assert status["done"] == 1 and status["runs_done"] == 2
+    assert len(store) == 2
+    broker.journal.close()
+
+
+@pytest.fixture
+def _fast_retries(monkeypatch):
+    # The unreachable path normally backs off ~6s; keep the tests quick.
+    import repro.service.protocol as protocol
+
+    monkeypatch.setattr(
+        protocol, "CLIENT_BACKOFF", Backoff(base=0.01, cap=0.02)
+    )
+
+
+def test_cli_runner_unreachable_broker_exits_2(_fast_retries, capsys):
+    rc = main(["runner", "--broker", "127.0.0.1:9"])
+    assert rc == 2
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("error: broker unreachable at 127.0.0.1:9")
+    assert len(err.splitlines()) == 1  # one line, no traceback
+
+
+def test_cli_sweep_distributed_unreachable_broker_exits_2(
+        _fast_retries, tmp_path, capsys):
+    rc = main([
+        "sweep", "--distributed", "--broker", "127.0.0.1:9",
+        "--schemes", "baseline", "--workloads", "sop", "--seeds", "1",
+        "--store", str(tmp_path / "store"), "--no-progress",
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err.strip()
+    assert "broker unreachable at 127.0.0.1:9" in err
+    assert "Traceback" not in err
+
+
+def test_runner_gives_up_after_continuous_unreachable(_fast_retries):
+    from repro.service.protocol import BrokerUnreachable
+    from repro.service.runner import runner_loop
+
+    client = BrokerClient("127.0.0.1:9", max_tries=2,
+                          backoff=Backoff(base=0.01, cap=0.02))
+    with pytest.raises(BrokerUnreachable):
+        runner_loop("127.0.0.1:9", client=client, give_up_after_s=0.2,
+                    install_signal_handlers=False)

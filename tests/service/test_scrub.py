@@ -1,0 +1,172 @@
+"""Store scrub: damage detection, quarantine-to-corrupt, index repair."""
+
+import json
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.campaign.store import payload_integrity
+from repro.harness.runner import RunConfig, run_workload
+from repro.cli import main
+from repro.service.index import ResultIndex
+from repro.service.scrub import load_scrub_report, scrub_store
+
+SMALL = RunConfig(scheme="baseline", workload="sop", num_mem_ops=300,
+                  num_cores=2, dc_megabytes=8)
+GRID = [SMALL.with_(seed=s) for s in (1, 2, 3)]
+
+
+def _populated(tmp_path, n=3):
+    store = ResultStore(tmp_path / "store")
+    for cfg in GRID[:n]:
+        store.put(cfg, run_workload(cfg))
+    return store
+
+
+def test_clean_store_scrubs_clean(tmp_path):
+    store = _populated(tmp_path)
+    report = scrub_store(store)
+    assert report["clean"] is True
+    assert report["checked"] == 3 and report["ok"] == 3
+    # The report is persisted for `repro results --json`.
+    assert load_scrub_report(store.root)["clean"] is True
+
+
+def test_torn_record_is_quarantined_and_index_repaired(tmp_path):
+    store = _populated(tmp_path)
+    index = ResultIndex(store.root)
+    index.sync_from_store(store)
+    path = store.path_for(GRID[0])
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])  # torn write
+
+    report = scrub_store(store, index)
+    assert report["clean"] is False
+    assert len(report["corrupt"]) == 1
+    assert "torn" in report["corrupt"][0]["reason"]
+    assert report["moved"] == 1
+    # Out of the address space: get misses, the config just re-runs.
+    assert not path.exists()
+    assert (store.root / "corrupt" / path.name).exists()
+    assert store.get(GRID[0]) is None
+    # And the index row is gone with it.
+    assert index.repair_counts["forgotten_rows"] >= 1
+
+    # A second scrub after the damage is cleared is clean.
+    assert scrub_store(store, index)["clean"] is True
+
+
+def test_bitflip_detected_by_integrity_checksum(tmp_path):
+    store = _populated(tmp_path, n=1)
+    path = store.path_for(GRID[0])
+    payload = json.loads(path.read_text())
+    # Corrupt a result *value*: still valid JSON, config still matches,
+    # key still matches -- only the integrity stamp can see it.
+    key = next(iter(payload["result"]))
+    payload["result"][key] = payload["result"][key] + 1 \
+        if isinstance(payload["result"][key], (int, float)) else "flipped"
+    path.write_text(json.dumps(payload))
+
+    report = scrub_store(store, repair=False)  # audit mode
+    assert report["clean"] is False
+    assert "integrity" in report["corrupt"][0]["reason"]
+    assert report["moved"] == 0 and path.exists()  # audit touches nothing
+
+
+def test_misplaced_record_detected_by_content_key(tmp_path):
+    store = _populated(tmp_path, n=1)
+    src = store.path_for(GRID[0])
+    dst = store.path_for(GRID[1].with_(seed=99))
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    dst.write_text(src.read_text())  # grafted under the wrong key
+
+    report = scrub_store(store)
+    assert len(report["corrupt"]) == 1
+    assert "content-key mismatch" in report["corrupt"][0]["reason"]
+    assert src.exists()  # the healthy original is untouched
+
+
+def test_corrupt_quarantine_record_is_swept_too(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    path = store.put_failure(SMALL, {"failure_kind": "crash", "error": "x"})
+    payload = json.loads(path.read_text())
+    payload["failure"]["error"] = "doctored"
+    path.write_text(json.dumps(payload))  # integrity now stale
+
+    report = scrub_store(store)
+    assert len(report["quarantined_corrupt"]) == 1
+    assert not path.exists()
+
+
+def test_pre_integrity_records_pass_with_count(tmp_path):
+    store = _populated(tmp_path, n=1)
+    path = store.path_for(GRID[0])
+    payload = json.loads(path.read_text())
+    del payload["integrity"]  # a record from before the stamp existed
+    path.write_text(json.dumps(payload))
+
+    report = scrub_store(store)
+    assert report["clean"] is True
+    assert report["missing_integrity"] == 1
+
+
+def test_sync_from_store_adopts_unindexed_records(tmp_path):
+    store = _populated(tmp_path)
+    index = ResultIndex(store.root)
+    report = scrub_store(store, index)
+    assert report["synced_rows"] == 3
+    assert index.repair_counts["synced_rows"] == 3
+
+
+def test_scrub_ignores_service_metadata(tmp_path):
+    store = _populated(tmp_path, n=1)
+    meta = store.root / "service"
+    meta.mkdir()
+    (meta / "x.json").write_text("definitely not a record")
+    report = scrub_store(store)
+    assert report["checked"] == 1 and report["clean"] is True
+
+
+def test_integrity_survives_round_trip():
+    payload = {"version": "v", "config": {"seed": 1}, "result": {"ipc": 2.0}}
+    stamp = payload_integrity(payload)
+    assert payload_integrity({**payload, "integrity": stamp}) == stamp
+    assert payload_integrity({**payload, "result": {"ipc": 2.1}}) != stamp
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_cli_scrub_exit_codes_and_json(tmp_path, capsys):
+    store = _populated(tmp_path)
+    assert main(["scrub", str(store.root)]) == 0
+    path = store.path_for(GRID[1])
+    path.write_text("{torn")
+    capsys.readouterr()  # drop the first invocation's text summary
+    rc = main(["scrub", str(store.root), "--json"])
+    assert rc == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["clean"] is False and report["moved"] == 1
+    # Damage quarantined: the store is clean again.
+    assert main(["scrub", str(store.root)]) == 0
+
+
+def test_cli_results_json_surfaces_repairs(tmp_path, capsys):
+    store = _populated(tmp_path)
+    main(["scrub", str(store.root)])
+    capsys.readouterr()
+    rc = main(["results", "--store", str(store.root), "--json"])
+    assert rc == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["count"] == 3
+    assert "synced_now" in out["repairs"]
+    assert out["last_scrub"]["clean"] is True
+
+
+@pytest.mark.parametrize("audit", [True, False])
+def test_cli_scrub_audit_flag(tmp_path, audit):
+    store = _populated(tmp_path, n=1)
+    path = store.path_for(GRID[0])
+    path.write_text("{torn")
+    argv = ["scrub", str(store.root)] + (["--audit"] if audit else [])
+    assert main(argv) == 1
+    assert path.exists() is audit  # audit never moves anything
