@@ -27,6 +27,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.obs.log import get_logger as _get_logger
+
+_LOG = _get_logger("pool")
+
 OK = "ok"
 ERROR = "error"  # the task itself raised -- deterministic, no retry
 CRASHED = "crashed"  # the worker process died
@@ -171,6 +175,10 @@ def map_with_retries(
                     _notify("heartbeat", len(not_done))
                     continue
                 # Watchdog: nothing finished within `timeout` seconds.
+                _LOG.warning(
+                    "pool.watchdog", timeout_s=timeout,
+                    outstanding=len(not_done),
+                )
                 for fut in not_done:
                     i = futures[fut]
                     outcomes[i] = TaskOutcome(
@@ -220,6 +228,13 @@ def map_with_retries(
         # means a transiently sick host; hammering it back-to-back just
         # burns the retry budget).
         pending = [i for i in retry if attempts[i] <= retries]
+        if pending:
+            _LOG.info(
+                "pool.retry", tasks=len(pending),
+                attempts=max(attempts[i] for i in pending),
+                crashed=sum(1 for i in pending
+                            if outcomes[i].status == CRASHED),
+            )
         if pending and backoff is not None:
             backoff.sleep(max(attempts[i] for i in pending))
     return outcomes

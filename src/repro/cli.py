@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -52,6 +53,22 @@ def _result_row(res) -> dict:
 
 def _emit_json(payload) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _autoconfigure_obs(component: str, args) -> None:
+    """Install observability for a CLI entry point.
+
+    An explicit ``--obs-dir`` is also exported as ``REPRO_OBS_DIR`` so
+    subprocesses this command spawns (the ephemeral runners of
+    ``local_service``) inherit the same sinks.
+    """
+    from repro import obs
+
+    obs_dir = getattr(args, "obs_dir", None)
+    if obs_dir:
+        obs_dir = str(Path(obs_dir).absolute())
+        os.environ[obs.ENV_DIR] = obs_dir
+    obs.autoconfigure(component, obs_dir)
 
 
 def _reject_unknown(schemes=(), workloads=()) -> Optional[str]:
@@ -231,6 +248,7 @@ def cmd_sweep(args) -> int:
                   "between broker, runners, and --resume",
                   file=sys.stderr)
             return 2
+        _autoconfigure_obs("coordinator", args)
         from repro.service import (
             BrokerError,
             BrokerUnreachable,
@@ -329,6 +347,7 @@ def cmd_sweep(args) -> int:
 def cmd_broker(args) -> int:
     from repro.service import serve_broker
 
+    _autoconfigure_obs("broker", args)
     serve_broker(args.host, args.port, args.store or default_store_dir(),
                  lease_s=args.lease, token=args.token)
     return 0
@@ -337,6 +356,7 @@ def cmd_broker(args) -> int:
 def cmd_runner(args) -> int:
     from repro.service import BrokerUnreachable, runner_loop
 
+    _autoconfigure_obs("runner", args)
     try:
         done = runner_loop(
             args.broker, jobs=args.jobs, runner_id=args.runner_id,
@@ -362,13 +382,14 @@ def cmd_serve_dashboard(args) -> int:
 
 
 def cmd_results(args) -> int:
-    from repro.service.index import ResultIndex, parse_where
+    from repro.service.index import ResultIndex, parse_duration, parse_where
 
     store = ResultStore(args.store or default_store_dir())
     index = ResultIndex(store.root)
     synced = index.sync_from_store(store)
     try:
         where = parse_where(args.where or [])
+        since = parse_duration(args.since) if args.since else None
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -380,14 +401,14 @@ def cmd_results(args) -> int:
     status = statuses or None
 
     if args.count:
-        n = index.count(where, status=status)
+        n = index.count(where, status=status, since=since)
         if args.json:
             _emit_json({"count": n})
         else:
             print(n)
         return 0
 
-    rows = index.query(where, status=status, limit=args.limit)
+    rows = index.query(where, status=status, limit=args.limit, since=since)
     if args.json:
         from repro.service.scrub import load_scrub_report
 
@@ -485,6 +506,7 @@ def cmd_chaos(args) -> int:
     if problem:
         print(problem, file=sys.stderr)
         return 2
+    _autoconfigure_obs("chaos", args)
     base = RunConfig(
         scheme=schemes[0], workload=workloads[0], num_mem_ops=args.ops,
         num_cores=args.cores, dc_megabytes=args.dc_mb,
@@ -568,8 +590,12 @@ def cmd_table1(args) -> int:
 def cmd_bench(args) -> int:
     from repro.harness import bench
 
-    measured = bench.run_bench(quick=args.quick, profile=not args.no_profile,
-                               sweep=args.sweep)
+    if args.obs:
+        measured = bench.run_obs_bench(quick=args.quick)
+    else:
+        measured = bench.run_bench(quick=args.quick,
+                                   profile=not args.no_profile,
+                                   sweep=args.sweep)
 
     if args.update:
         bench.update_report(args.file, measured)
@@ -601,7 +627,7 @@ def cmd_bench(args) -> int:
                     f"{entry['snapshot_forks']}/{snap_total} "
                     f"({entry['snapshot_hit_rate']:.0%})"
                 )
-            else:
+            elif "events_per_sec" in entry:
                 row["events_per_sec"] = entry["events_per_sec"]
             row["normalized"] = entry["normalized"]
             if committed is not None:
@@ -612,17 +638,51 @@ def cmd_bench(args) -> int:
                         entry["normalized"] / base["normalized"]
                     )
             rows.append(row)
-        title = ("sweep benchmark (campaign runs/sec; baseline = snapshot "
-                 "forking off)" if args.sweep else
-                 "engine benchmark (normalized = runs/sec per normalizer "
-                 "op/sec)")
+        if args.obs:
+            title = "service sweep with observability off vs fully on"
+        elif args.sweep:
+            title = ("sweep benchmark (campaign runs/sec; baseline = "
+                     "snapshot forking off)")
+        else:
+            title = ("engine benchmark (normalized = runs/sec per "
+                     "normalizer op/sec)")
         print(format_table(rows, title=title))
+        if args.obs:
+            frac = measured.get("obs_overhead_frac", 0.0)
+            noise = measured.get("obs_noise_frac", 0.0)
+            print(f"obs overhead: {frac:+.1%} wall clock "
+                  f"(budget {bench.OBS_OVERHEAD_FAIL_FRAC:.0%}, "
+                  f"rep noise {noise:.1%})")
         for p in problems:
             print(p)
 
     if any(p.startswith("FAIL") for p in problems):
         return 1
     return 0
+
+
+def cmd_obs(args) -> int:
+    from repro.obs import cli as obs_cli
+
+    try:
+        if args.obs_command == "tail":
+            return obs_cli.cmd_tail(
+                args.path, follow=args.follow, level=args.level,
+                component=args.component, as_json=args.json,
+            )
+        if args.obs_command == "scrape":
+            return obs_cli.cmd_scrape(args.broker, diff_s=args.diff)
+        return obs_cli.cmd_merge(args.obs_dir, out_path=args.out)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro obs tail ... | head`); exit
+        # quietly like any well-behaved filter.  Redirect stdout to
+        # devnull so interpreter shutdown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_timeline(args) -> int:
@@ -779,6 +839,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="re-drive campaign ID from its persisted "
                            "manifest; already-stored and quarantined "
                            "configs are not re-run (implies --distributed)")
+    p_sw.add_argument("--obs-dir", default=None, metavar="DIR",
+                      help="distributed only: write structured logs and "
+                           "service-trace spans under DIR (exported as "
+                           "REPRO_OBS_DIR so ephemeral runners inherit it)")
     add_common(p_sw)
     p_sw.set_defaults(func=cmd_sweep)
 
@@ -799,6 +863,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "$REPRO_BROKER_TOKEN, empty = open (loopback "
                            "only!).  Runners and coordinators pick the "
                            "same variable up automatically")
+    p_br.add_argument("--obs-dir", default=None, metavar="DIR",
+                      help="structured logs + /metrics + trace spans under "
+                           "DIR (default: $REPRO_OBS_DIR; REPRO_OBS=1 for "
+                           "stderr logs only)")
     p_br.set_defaults(func=cmd_broker)
 
     p_rn = sub.add_parser(
@@ -824,6 +892,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "for S continuous seconds (default 600; a "
                            "SIGTERM always drains the in-flight batch "
                            "first and exits 0)")
+    p_rn.add_argument("--obs-dir", default=None, metavar="DIR",
+                      help="structured logs + trace spans under DIR "
+                           "(default: $REPRO_OBS_DIR)")
     p_rn.set_defaults(func=cmd_runner)
 
     p_dash = sub.add_parser(
@@ -849,6 +920,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only quarantined (deterministic-failure) rows")
     p_res.add_argument("--failed", action="store_true",
                        help="only transient failed/timeout rows")
+    p_res.add_argument("--since", default=None, metavar="DURATION",
+                       help="only rows updated within DURATION "
+                            "(e.g. 90s, 15m, 2h, 1d)")
     p_res.add_argument("--count", action="store_true",
                        help="print only the matching row count")
     p_res.add_argument("--limit", type=int, default=None)
@@ -899,6 +973,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--store", default=None,
                          help="work directory for the chaos + serial "
                               "stores (default: a fresh temp dir)")
+    p_chaos.add_argument("--obs-dir", default=None, metavar="DIR",
+                         help="structured logs + trace spans under DIR "
+                              "(default: $REPRO_OBS_DIR)")
     p_chaos.add_argument("--json", action="store_true")
     p_chaos.set_defaults(func=cmd_chaos)
 
@@ -925,9 +1002,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="measure campaign sweep throughput (machine-"
                               "snapshot amortization) instead of the engine "
                               "scenarios")
+    p_bench.add_argument("--obs", action="store_true",
+                         help="measure the distributed sweep with "
+                              "observability off vs fully on; with --check, "
+                              "fail if the overhead exceeds the budget")
     p_bench.add_argument("--json", action="store_true",
                          help="structured JSON output instead of tables")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability tools: tail logs, scrape /metrics, "
+                    "merge service traces"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_tail = obs_sub.add_parser(
+        "tail", help="print structured logs from an obs dir (or one file)"
+    )
+    p_obs_tail.add_argument("path", help="obs dir, logs dir, or .jsonl file")
+    p_obs_tail.add_argument("-f", "--follow", action="store_true",
+                            help="keep polling for new records")
+    p_obs_tail.add_argument("--level", default="debug",
+                            choices=["debug", "info", "warning", "error"],
+                            help="minimum level to show (default debug)")
+    p_obs_tail.add_argument("--component", default=None,
+                            help="only this component (broker, runner, ...)")
+    p_obs_tail.add_argument("--json", action="store_true",
+                            help="raw JSON records instead of text lines")
+    p_obs_tail.set_defaults(func=cmd_obs)
+    p_obs_scrape = obs_sub.add_parser(
+        "scrape", help="fetch a broker's Prometheus /metrics exposition"
+    )
+    p_obs_scrape.add_argument("broker", help="broker URL or host:port")
+    p_obs_scrape.add_argument("--diff", type=float, default=None, metavar="S",
+                              help="scrape twice S seconds apart and print "
+                                   "only the series that moved")
+    p_obs_scrape.set_defaults(func=cmd_obs)
+    p_obs_merge = obs_sub.add_parser(
+        "merge", help="merge per-process service traces into one Perfetto "
+                      "file (validated against the trace schema)"
+    )
+    p_obs_merge.add_argument("obs_dir", help="obs dir or its traces/ subdir")
+    p_obs_merge.add_argument("--out", default=None, metavar="PATH",
+                             help="write the merged trace JSON to PATH "
+                                  "(summarize with: repro timeline PATH)")
+    p_obs_merge.set_defaults(func=cmd_obs)
 
     p_tl = sub.add_parser(
         "timeline", help="validate + summarize a telemetry trace file"

@@ -1,0 +1,92 @@
+"""repro.obs -- observability for the campaign service.
+
+Three stdlib-only pillars, all opt-in and zero-cost when disabled:
+
+* :mod:`repro.obs.log` -- structured JSON logging with bound context
+  (correlation / campaign / batch ids) and a per-process flight recorder.
+* :mod:`repro.obs.metrics` -- a lock-safe counter/gauge/histogram registry
+  with a Prometheus text exposition writer (``GET /metrics`` on the broker).
+* :mod:`repro.obs.trace` -- campaign-scoped distributed tracing propagated
+  broker<->runner via the ``X-Repro-Trace`` header, merged into one
+  Perfetto document by ``repro obs merge``.
+
+Enable with ``REPRO_OBS_DIR=<dir>`` (file sinks + tracing), ``REPRO_OBS=1``
+(stderr logs only), or programmatically with
+``configure(ObsConfig(...))``.
+"""
+
+from .log import (
+    ENV_DIR,
+    ENV_ENABLE,
+    ENV_LEVEL,
+    LEVELS,
+    Logger,
+    ObsConfig,
+    autoconfigure,
+    bind,
+    configure,
+    context,
+    crash_dump,
+    current_config,
+    dump_flight_recorder,
+    enabled,
+    get_logger,
+    install_signal_dump,
+    new_correlation_id,
+)
+from .metrics import (
+    CONTENT_TYPE,
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    parse_exposition,
+)
+from .trace import (
+    CAT_SERVICE,
+    SERVICE_SCHEMA_VERSION,
+    TRACE_HEADER,
+    ServiceTracer,
+    current_span,
+    current_trace_header,
+    format_trace_header,
+    merge_service_traces,
+    new_span_id,
+    new_trace_id,
+    parse_trace_header,
+    service_tracer,
+)
+
+__all__ = [
+    "ENV_DIR",
+    "ENV_ENABLE",
+    "ENV_LEVEL",
+    "LEVELS",
+    "Logger",
+    "ObsConfig",
+    "autoconfigure",
+    "bind",
+    "configure",
+    "context",
+    "crash_dump",
+    "current_config",
+    "dump_flight_recorder",
+    "enabled",
+    "get_logger",
+    "install_signal_dump",
+    "new_correlation_id",
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "parse_exposition",
+    "CAT_SERVICE",
+    "SERVICE_SCHEMA_VERSION",
+    "TRACE_HEADER",
+    "ServiceTracer",
+    "current_span",
+    "current_trace_header",
+    "format_trace_header",
+    "merge_service_traces",
+    "new_span_id",
+    "new_trace_id",
+    "parse_trace_header",
+    "service_tracer",
+]

@@ -1,0 +1,174 @@
+"""Implementation of the ``repro obs`` subcommands: tail, scrape, merge.
+
+Argument parsing lives in :mod:`repro.cli`; these functions do the work and
+are unit-testable with a string buffer as ``out``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from pathlib import Path
+from typing import IO, Iterator, List, Optional
+
+from .log import LEVELS
+from .metrics import parse_exposition
+from .trace import merge_service_traces
+
+__all__ = ["iter_log_records", "format_record", "cmd_tail", "cmd_scrape", "cmd_merge"]
+
+
+def _log_files(path: Path) -> List[Path]:
+    """A log file, an obs dir (-> its logs/), or a logs dir itself."""
+    if path.is_file():
+        return [path]
+    root = path
+    if (root / "logs").is_dir():
+        root = root / "logs"
+    if root.is_dir():
+        return sorted(root.glob("*.jsonl"))
+    raise FileNotFoundError(f"no structured logs at {path}")
+
+
+def iter_log_records(path: Path) -> Iterator[dict]:
+    """All records across the selected files, merged by timestamp."""
+    records: List[dict] = []
+    for name in _log_files(path):
+        with open(name, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line
+                if isinstance(record, dict):
+                    records.append(record)
+    records.sort(key=lambda r: r.get("ts", 0))
+    return iter(records)
+
+
+_SKIP_KEYS = ("ts", "level", "component", "event", "pid")
+
+
+def format_record(record: dict) -> str:
+    ts = record.get("ts", 0)
+    stamp = time.strftime("%H:%M:%S", time.localtime(ts)) if ts else "--:--:--"
+    level = str(record.get("level", "?")).upper()[:4]
+    head = (
+        f"{stamp} {level:<4} {record.get('component', '?')}"
+        f"[{record.get('pid', '?')}] {record.get('event', '?')}"
+    )
+    rest = " ".join(
+        f"{k}={record[k]}" for k in record if k not in _SKIP_KEYS
+    )
+    return f"{head} {rest}".rstrip()
+
+
+def cmd_tail(
+    path: str,
+    follow: bool = False,
+    level: str = "debug",
+    component: Optional[str] = None,
+    as_json: bool = False,
+    out: Optional[IO[str]] = None,
+    poll_s: float = 0.5,
+) -> int:
+    """Print structured logs, optionally following like ``tail -f``."""
+    out = out if out is not None else sys.stdout
+    threshold = LEVELS.get(level, LEVELS["debug"])
+    root = Path(path)
+
+    def _emit(record: dict) -> None:
+        if LEVELS.get(str(record.get("level")), 0) < threshold:
+            return
+        if component and record.get("component") != component:
+            return
+        if as_json:
+            out.write(json.dumps(record, default=str) + "\n")
+        else:
+            out.write(format_record(record) + "\n")
+
+    seen = 0
+    try:
+        while True:
+            records = list(iter_log_records(root))
+            for record in records[seen:]:
+                _emit(record)
+            seen = len(records)
+            out.flush()
+            if not follow:
+                break
+            time.sleep(poll_s)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def _scrape(url: str, timeout: float = 10.0) -> str:
+    if "://" not in url:
+        url = f"http://{url}"
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode("utf-8")
+
+
+def cmd_scrape(
+    url: str,
+    diff_s: Optional[float] = None,
+    out: Optional[IO[str]] = None,
+) -> int:
+    """Scrape a broker's /metrics; with ``diff_s``, show what moved."""
+    out = out if out is not None else sys.stdout
+    first = _scrape(url)
+    if diff_s is None:
+        out.write(first)
+        return 0
+    time.sleep(diff_s)
+    second = _scrape(url)
+    before, _ = parse_exposition(first)
+    after, _ = parse_exposition(second)
+    moved = []
+    for key, value in sorted(after.items()):
+        delta = value - before.get(key, 0.0)
+        if delta:
+            name, labels = key
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels))
+            suffix = f"{{{label_text}}}" if label_text else ""
+            moved.append((f"{name}{suffix}", delta, value))
+    out.write(f"# {len(moved)} series changed over {diff_s:g}s\n")
+    for name, delta, value in moved:
+        out.write(f"{name} +{delta:g} (now {value:g})\n")
+    return 0
+
+
+def cmd_merge(
+    trace_dir: str,
+    out_path: Optional[str] = None,
+    out: Optional[IO[str]] = None,
+) -> int:
+    """Merge per-process service traces; validate; non-zero exit on problems."""
+    out = out if out is not None else sys.stdout
+    from repro.telemetry.trace_schema import validate_trace
+
+    doc = merge_service_traces(trace_dir, out_path=out_path)
+    events = doc["traceEvents"]
+    other = doc["otherData"]
+    problems = validate_trace(doc)
+    spans = sum(1 for e in events if e.get("ph") == "b")
+    out.write(
+        f"merged {len(other['sources'])} file(s): {len(events)} events, "
+        f"{spans} spans, {len(other['trace_ids'])} trace id(s)"
+        + (f", {other['spans_truncated']} truncated" if other["spans_truncated"] else "")
+        + (f" -> {out_path}" if out_path else "")
+        + "\n"
+    )
+    if problems:
+        for problem in problems:
+            out.write(f"SCHEMA: {problem}\n")
+        return 1
+    return 0

@@ -1,0 +1,335 @@
+"""Structured JSON logging for the campaign service.
+
+One process-global configuration (installed with :func:`configure` or the
+environment-driven :func:`autoconfigure`) feeds every :class:`Logger` in the
+process.  When no configuration is installed every log call is a single
+``config is None`` branch -- the same zero-cost discipline the run telemetry
+layer uses (``_tel is None``).
+
+Records are one JSON object per line::
+
+    {"ts": 1723100000.123, "level": "info", "component": "broker",
+     "event": "claim.grant", "correlation_id": "a1b2c3", "campaign": "c...",
+     "batch_id": "b...", ...}
+
+Context fields (correlation id, campaign/batch/run ids, trace ids) are bound
+with :func:`bind`, which stacks via ``contextvars`` so they survive into any
+log call made below the ``with`` block -- including across the broker's
+per-request handler threads.
+
+Every emitted record is also appended to a bounded in-memory flight-recorder
+ring; :func:`dump_flight_recorder` writes the ring (plus a config snapshot)
+into a guard-style bundle directory for post-mortem debugging, and
+:func:`install_signal_dump` wires that to ``SIGUSR1``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+import uuid
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, IO, Iterator, Optional
+
+__all__ = [
+    "ObsConfig",
+    "Logger",
+    "configure",
+    "autoconfigure",
+    "enabled",
+    "current_config",
+    "get_logger",
+    "bind",
+    "context",
+    "new_correlation_id",
+    "dump_flight_recorder",
+    "install_signal_dump",
+    "crash_dump",
+    "LEVELS",
+]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+ENV_ENABLE = "REPRO_OBS"          # "1"/"on" -> stderr sink, "0"/"off" -> force off
+ENV_DIR = "REPRO_OBS_DIR"         # root dir: logs/<component>-<pid>.jsonl, traces/
+ENV_LEVEL = "REPRO_OBS_LEVEL"     # debug | info | warning | error
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Process-wide observability configuration.
+
+    ``obs_dir`` is the root of the file sinks: structured logs go to
+    ``<obs_dir>/logs/<component>-<pid>.jsonl`` and service-trace spans to
+    ``<obs_dir>/traces/`` (one JSONL file per component+pid).  With no
+    ``obs_dir`` the log sink is stderr and tracing is off.
+    """
+
+    component: str = "repro"
+    obs_dir: Optional[str] = None
+    level: str = "info"
+    ring_size: int = 512
+
+    @property
+    def log_dir(self) -> Optional[str]:
+        return os.path.join(self.obs_dir, "logs") if self.obs_dir else None
+
+    @property
+    def trace_dir(self) -> Optional[str]:
+        return os.path.join(self.obs_dir, "traces") if self.obs_dir else None
+
+
+class _State:
+    """Mutable module-global: installed config, open sink, flight ring."""
+
+    def __init__(self) -> None:
+        self.config: Optional[ObsConfig] = None
+        self.threshold: int = LEVELS["info"]
+        self.sink: Optional[IO[str]] = None
+        self.owns_sink: bool = False
+        self.ring: Deque[Dict[str, Any]] = deque(maxlen=512)
+        self.lock = threading.Lock()
+
+    def write(self, record: Dict[str, Any]) -> None:
+        with self.lock:
+            self.ring.append(record)
+            sink = self.sink
+            if sink is not None:
+                try:
+                    sink.write(json.dumps(record, default=str) + "\n")
+                    sink.flush()
+                except (OSError, ValueError):
+                    # A torn sink (disk full, closed fd at shutdown) must
+                    # never take the service down with it.
+                    pass
+
+
+_STATE = _State()
+
+# Context fields carried into every record logged below a bind() block.
+_CTX: ContextVar[Optional[Dict[str, Any]]] = ContextVar("repro_obs_ctx", default=None)
+
+
+def new_correlation_id() -> str:
+    """A short unique id to stamp on one request / one unit of work."""
+    return uuid.uuid4().hex[:12]
+
+
+@contextlib.contextmanager
+def bind(**fields: Any) -> Iterator[None]:
+    """Bind context fields for the dynamic extent of the block."""
+    current = _CTX.get() or {}
+    token = _CTX.set({**current, **fields})
+    try:
+        yield
+    finally:
+        _CTX.reset(token)
+
+
+def context() -> Dict[str, Any]:
+    """The currently bound context fields (a copy)."""
+    return dict(_CTX.get() or {})
+
+
+class Logger:
+    """A named emitter.  Cheap to construct; all state is module-global."""
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    def _log(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        state = _STATE
+        if state.config is None or LEVELS[level] < state.threshold:
+            return
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": self.component,
+            "pid": os.getpid(),
+            "event": event,
+        }
+        ctx = _CTX.get()
+        if ctx:
+            record.update(ctx)
+        if fields:
+            record.update(fields)
+        state.write(record)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log("error", event, fields)
+
+
+def get_logger(component: str) -> Logger:
+    """Loggers are valid whether or not obs is configured (no-op when off)."""
+    return Logger(component)
+
+
+def configure(config: Optional[ObsConfig]) -> Optional[ObsConfig]:
+    """Install (or, with ``None``, tear down) the process configuration.
+
+    Returns the previous configuration so tests can restore it.
+    """
+    state = _STATE
+    with state.lock:
+        previous = state.config
+        if state.owns_sink and state.sink is not None:
+            try:
+                state.sink.close()
+            except OSError:
+                pass
+        state.sink = None
+        state.owns_sink = False
+        state.config = config
+        if config is None:
+            state.threshold = LEVELS["info"]
+        else:
+            state.threshold = LEVELS.get(config.level, LEVELS["info"])
+            state.ring = deque(state.ring, maxlen=max(1, config.ring_size))
+            log_dir = config.log_dir
+            if log_dir:
+                os.makedirs(log_dir, exist_ok=True)
+                path = os.path.join(
+                    log_dir, f"{config.component}-{os.getpid()}.jsonl"
+                )
+                state.sink = open(path, "a", encoding="utf-8")
+                state.owns_sink = True
+            else:
+                state.sink = sys.stderr
+    # Service tracers hold per-config sinks; reset them on any reconfigure.
+    from . import trace as _trace
+
+    _trace.reset_tracers()
+    return previous
+
+
+def autoconfigure(component: str, obs_dir: Optional[str] = None) -> bool:
+    """Configure from the environment; the CLI entry points call this.
+
+    ``REPRO_OBS=0`` forces observability off, ``REPRO_OBS=1`` enables a
+    stderr log sink, and ``REPRO_OBS_DIR=<dir>`` enables file sinks (logs
+    *and* service traces).  An explicit ``obs_dir`` argument (from a
+    ``--obs-dir`` flag) wins over the environment.  Returns whether
+    observability ended up enabled.
+    """
+    flag = os.environ.get(ENV_ENABLE, "").strip().lower()
+    if flag in ("0", "off", "false", "no"):
+        configure(None)
+        return False
+    if obs_dir is None:
+        obs_dir = os.environ.get(ENV_DIR) or None
+    if obs_dir is None and flag not in ("1", "on", "true", "yes", "stderr"):
+        # Nothing asked for: leave whatever is installed (tests may have
+        # configured programmatically before calling a CLI helper).
+        return enabled()
+    level = os.environ.get(ENV_LEVEL, "info").strip().lower()
+    if level not in LEVELS:
+        level = "info"
+    configure(ObsConfig(component=component, obs_dir=obs_dir, level=level))
+    return True
+
+
+def enabled() -> bool:
+    return _STATE.config is not None
+
+
+def current_config() -> Optional[ObsConfig]:
+    return _STATE.config
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+# ---------------------------------------------------------------------------
+
+def dump_flight_recorder(reason: str = "manual") -> Optional[str]:
+    """Write the in-memory ring into a guard-style bundle directory.
+
+    The bundle is ``obs-bundle-<component>-<pid>-<n>/flight.json`` under the
+    configured ``obs_dir`` (or the system temp dir when logging to stderr).
+    Returns the bundle path, or ``None`` when observability is disabled.
+    """
+    state = _STATE
+    config = state.config
+    if config is None:
+        return None
+    with state.lock:
+        events = list(state.ring)
+    root = config.obs_dir or tempfile.gettempdir()
+    base = f"obs-bundle-{config.component}-{os.getpid()}"
+    bundle = os.path.join(root, base)
+    n = 0
+    while os.path.exists(bundle):
+        n += 1
+        bundle = os.path.join(root, f"{base}-{n}")
+    os.makedirs(bundle, exist_ok=True)
+    payload = {
+        "kind": "obs_flight_recorder",
+        "reason": reason,
+        "dumped_at": round(time.time(), 6),
+        "component": config.component,
+        "pid": os.getpid(),
+        "config": {
+            "obs_dir": config.obs_dir,
+            "level": config.level,
+            "ring_size": config.ring_size,
+        },
+        "events": events,
+    }
+    path = os.path.join(bundle, "flight.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+    return bundle
+
+
+def install_signal_dump() -> bool:
+    """Dump the flight recorder on SIGUSR1 (main thread only; best effort)."""
+    if not hasattr(signal, "SIGUSR1"):
+        return False
+
+    def _handler(signum: int, frame: Any) -> None:  # pragma: no cover - signal
+        bundle = dump_flight_recorder(reason="SIGUSR1")
+        if bundle:
+            print(f"[obs] flight recorder dumped to {bundle}", file=sys.stderr)
+
+    try:
+        signal.signal(signal.SIGUSR1, _handler)
+    except ValueError:
+        # Not the main thread (e.g. broker embedded in a test harness).
+        return False
+    return True
+
+
+@contextlib.contextmanager
+def crash_dump(component: str) -> Iterator[None]:
+    """Dump the flight recorder when the block exits via an exception."""
+    try:
+        yield
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException:
+        bundle = dump_flight_recorder(reason="crash")
+        if bundle:
+            print(
+                f"[obs] {component} crashed; flight recorder dumped to {bundle}",
+                file=sys.stderr,
+            )
+        raise

@@ -1,0 +1,413 @@
+"""Lock-safe metrics registry with a Prometheus text exposition writer.
+
+Stdlib-only: counters, gauges, and histograms, each optionally labelled,
+rendered in the Prometheus text format 0.0.4 so any scraper (or ``curl``)
+can consume ``GET /metrics`` on the broker.
+
+Design notes:
+
+- Each family carries its own lock; ``inc``/``set``/``observe`` never take
+  a registry-wide lock, so hot paths in the broker only contend with the
+  scrape thread for the one family they touch.
+- Callback families (:meth:`MetricsRegistry.counter_func` /
+  :meth:`MetricsRegistry.gauge_func`) evaluate a function at render time.
+  The callback is invoked *without* any metrics lock held, so it may take
+  application locks (the broker's) without lock-order cycles.
+- :func:`parse_exposition` is the inverse used by tests and by
+  ``repro obs scrape --diff``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "CONTENT_TYPE",
+    "parse_exposition",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# Latency buckets in seconds, tuned for sub-ms fsyncs up to multi-second
+# batch ingests.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelValues = Tuple[str, ...]
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(names: Sequence[str], values: LabelValues) -> str:
+    if not names:
+        return ""
+    parts = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    return "{" + ",".join(parts) + "}"
+
+
+class _Family:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str]) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, str]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def header(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str]) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(f"{self.name}{_label_str(self.label_names, key)} {_fmt(value)}")
+        return lines
+
+
+class Gauge(_Family):
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str]) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: Dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(f"{self.name}{_label_str(self.label_names, key)} {_fmt(value)}")
+        return lines
+
+
+class _FuncFamily(_Family):
+    """A family whose samples come from a callback evaluated at render time.
+
+    The callback returns either a plain number (no labels) or an iterable of
+    ``(label_values_tuple, value)`` pairs.  It runs without any metrics lock
+    held so it is free to take application locks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        fn: Callable[[], object],
+        kind: str,
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        self.kind = kind
+        self._fn = fn
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        try:
+            result = self._fn()
+        except Exception:  # a broken callback must not break the scrape
+            return lines
+        if isinstance(result, (int, float)):
+            samples: Iterable[Tuple[LabelValues, float]] = [((), float(result))]
+        else:
+            samples = result  # type: ignore[assignment]
+        for key, value in sorted(samples):
+            key = tuple(str(k) for k in key)
+            lines.append(f"{self.name}{_label_str(self.label_names, key)} {_fmt(value)}")
+        return lines
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self._counts: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+        self._totals: Dict[LabelValues, int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * len(self.buckets)
+                self._counts[key] = counts
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        key = self._key(labels)
+        with self._lock:
+            return self._totals.get(key, 0)
+
+    def sum(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            keys = sorted(self._totals)
+            counts = {k: list(self._counts[k]) for k in keys}
+            sums = dict(self._sums)
+            totals = dict(self._totals)
+        for key in keys:
+            for i, bound in enumerate(self.buckets):
+                labels = dict(zip(self.label_names, key))
+                label_items = list(labels.items()) + [("le", _fmt(bound))]
+                names = [n for n, _ in label_items]
+                values = tuple(v for _, v in label_items)
+                lines.append(
+                    f"{self.name}_bucket{_label_str(names, values)} {counts[key][i]}"
+                )
+            inf_items = list(zip(self.label_names, key)) + [("le", "+Inf")]
+            names = [n for n, _ in inf_items]
+            values = tuple(v for _, v in inf_items)
+            lines.append(f"{self.name}_bucket{_label_str(names, values)} {totals[key]}")
+            base = _label_str(self.label_names, key)
+            lines.append(f"{self.name}_sum{base} {_fmt(sums[key])}")
+            lines.append(f"{self.name}_count{base} {totals[key]}")
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered collection of metric families with a text renderer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            if family.name in self._families:
+                raise ValueError(f"duplicate metric: {family.name}")
+            self._families[family.name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, labels))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help_text, labels))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, labels, buckets))  # type: ignore[return-value]
+
+    def counter_func(
+        self,
+        name: str,
+        fn: Callable[[], object],
+        help_text: str = "",
+        labels: Sequence[str] = (),
+    ) -> None:
+        self._register(_FuncFamily(name, help_text, labels, fn, "counter"))
+
+    def gauge_func(
+        self,
+        name: str,
+        fn: Callable[[], object],
+        help_text: str = "",
+        labels: Sequence[str] = (),
+    ) -> None:
+        self._register(_FuncFamily(name, help_text, labels, fn, "gauge"))
+
+    def render(self) -> str:
+        with self._lock:
+            families = list(self._families.values())
+        lines: List[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# Parsing (tests + `repro obs scrape --diff`)
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape(value: str) -> str:
+    # Single left-to-right pass: sequential str.replace would corrupt an
+    # escaped backslash followed by a literal 'n' (\\n -> newline).
+    return _ESCAPE_RE.sub(
+        lambda m: "\n" if m.group(1) == "n" else m.group(1), value
+    )
+
+
+def parse_exposition(text: str) -> Tuple[Dict[Tuple[str, frozenset], float], Dict[str, str]]:
+    """Parse Prometheus text exposition.
+
+    Returns ``(samples, types)`` where ``samples`` maps
+    ``(sample_name, frozenset(label_items))`` to the numeric value and
+    ``types`` maps family names to their declared TYPE.
+    """
+    samples: Dict[Tuple[str, frozenset], float] = {}
+    types: Dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        labels = {}
+        label_blob = match.group("labels")
+        if label_blob:
+            for name, val in _LABEL_PAIR_RE.findall(label_blob):
+                labels[name] = _unescape(val)
+        samples[(match.group("name"), frozenset(labels.items()))] = value
+    return samples, types
+
+
+def counter_samples(
+    samples: Dict[Tuple[str, frozenset], float],
+    types: Dict[str, str],
+) -> Dict[Tuple[str, frozenset], float]:
+    """Filter a parsed exposition down to counter-typed samples.
+
+    Histogram ``_bucket``/``_count``/``_sum`` series are cumulative too and
+    are included (they must also be monotone between scrapes).
+    """
+    out = {}
+    for (name, labels), value in samples.items():
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        kind = types.get(base)
+        if kind == "counter" or (kind == "histogram"):
+            out[(name, labels)] = value
+    return out

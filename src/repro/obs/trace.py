@@ -1,0 +1,373 @@
+"""Cross-process service tracing in the Perfetto trace-event schema.
+
+A *trace id* is minted once per campaign (by the coordinator) and rides in
+campaign/batch metadata and in the ``X-Repro-Trace`` HTTP header, so the
+broker and every runner can parent their spans onto the same campaign tree:
+
+    campaign (coordinator)
+      └─ enqueue (coordinator)
+      └─ claim (broker, per batch)
+           └─ batch-run (runner)
+                └─ ingest (broker)
+
+Each span is one ``b``/``e`` async event pair in the category ``service``
+with its *own* event ``id`` (the span id) -- that keeps the schema's
+balance check exact and lets :mod:`repro.telemetry.timeline` pair spans
+without cross-process nesting assumptions.  The campaign-wide trace id and
+the parent span id live in ``args``::
+
+    {"ph": "b", "cat": "service", "id": "4f2a9c01", "name": "batch-run",
+     "pid": 98765, "tid": 0, "ts": 1723100000123456,
+     "args": {"trace_id": "c0ffee...", "span_id": "4f2a9c01",
+              "parent_span_id": "ab34cd56", "component": "runner", ...}}
+
+Every process appends its spans to ``<obs_dir>/traces/<component>-<pid>.jsonl``;
+:func:`merge_service_traces` folds all of them into one schema-version-2
+Perfetto document (``repro obs merge``).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import threading
+import time
+import uuid
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+__all__ = [
+    "CAT_SERVICE",
+    "TRACE_HEADER",
+    "SERVICE_SCHEMA_VERSION",
+    "new_trace_id",
+    "new_span_id",
+    "format_trace_header",
+    "parse_trace_header",
+    "current_trace_header",
+    "current_span",
+    "ServiceTracer",
+    "Span",
+    "service_tracer",
+    "reset_tracers",
+    "merge_service_traces",
+]
+
+CAT_SERVICE = "service"
+TRACE_HEADER = "X-Repro-Trace"
+SERVICE_SCHEMA_VERSION = 2
+
+# Stable per-component offset so components sharing one OS process (the
+# in-process broker of `local_service` or the chaos harness) still render
+# as separate Perfetto process tracks.
+_COMPONENT_SLOT = {"coordinator": 1, "broker": 2, "runner": 3}
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:8]
+
+
+def format_trace_header(trace_id: str, span_id: str) -> str:
+    return f"{trace_id}-{span_id}"
+
+
+def parse_trace_header(value: Optional[str]) -> Optional[Tuple[str, str]]:
+    """``"<trace_id>-<span_id>"`` -> ``(trace_id, span_id)`` or ``None``."""
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 2 or not all(p and all(c in "0123456789abcdef" for c in p)
+                                  for p in parts):
+        return None
+    return parts[0], parts[1]
+
+
+# The active span of the current task/thread; BrokerClient reads this to
+# stamp X-Repro-Trace on outgoing requests.
+_ACTIVE: ContextVar[Optional[Tuple[str, str]]] = ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+def current_span() -> Optional[Tuple[str, str]]:
+    return _ACTIVE.get()
+
+
+def current_trace_header() -> Optional[str]:
+    active = _ACTIVE.get()
+    if active is None:
+        return None
+    return format_trace_header(*active)
+
+
+def _now_us() -> int:
+    return int(time.time() * 1e6)
+
+
+class Span:
+    """Context manager emitting one b/e pair and binding the active span."""
+
+    __slots__ = ("tracer", "name", "trace_id", "span_id", "parent_span_id",
+                 "args", "_token", "_t0")
+
+    def __init__(
+        self,
+        tracer: "ServiceTracer",
+        name: str,
+        trace_id: str,
+        parent_span_id: Optional[str],
+        args: Optional[Dict[str, Any]],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_span_id = parent_span_id
+        self.args = dict(args or {})
+
+    def header(self) -> str:
+        return format_trace_header(self.trace_id, self.span_id)
+
+    def __enter__(self) -> "Span":
+        self._t0 = _now_us()
+        self._token = _ACTIVE.set((self.trace_id, self.span_id))
+        self.tracer._emit_span_event("b", self, self._t0)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        _ACTIVE.reset(self._token)
+        end_args = {}
+        if exc_type is not None:
+            end_args["error"] = exc_type.__name__
+        self.tracer._emit_span_event("e", self, _now_us(), extra=end_args)
+
+    # For spans that outlive one lexical block (the coordinator's
+    # campaign span).  begin()/end() do not touch the active-span
+    # contextvar; a span left open by a crash is closed (and counted as
+    # truncated) by merge_service_traces.
+    def begin(self) -> "Span":
+        self.tracer._emit_span_event("b", self, _now_us())
+        return self
+
+    def end(self, **extra: Any) -> None:
+        self.tracer._emit_span_event("e", self, _now_us(), extra=extra)
+
+
+class ServiceTracer:
+    """Appends service span events to one JSONL file per component+pid."""
+
+    def __init__(self, component: str, path: Union[str, Path]) -> None:
+        self.component = component
+        self.pid = os.getpid() * 8 + _COMPONENT_SLOT.get(component, 0)
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._fh: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+        self.emit({
+            "ph": "M",
+            "name": "process_name",
+            "pid": self.pid,
+            "tid": 0,
+            "args": {"name": f"repro-{component}-{os.getpid()}"},
+        })
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            fh = self._fh
+            if fh is None:
+                return
+            try:
+                fh.write(json.dumps(event, default=str) + "\n")
+                fh.flush()
+            except (OSError, ValueError):
+                pass
+
+    def _emit_span_event(
+        self,
+        ph: str,
+        span: Span,
+        ts: int,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        args: Dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "component": self.component,
+        }
+        if span.parent_span_id:
+            args["parent_span_id"] = span.parent_span_id
+        args.update(span.args)
+        if extra:
+            args.update(extra)
+        self.emit({
+            "ph": ph,
+            "cat": CAT_SERVICE,
+            "id": span.span_id,
+            "name": span.name,
+            "pid": self.pid,
+            "tid": 0,
+            "ts": ts,
+            "args": args,
+        })
+
+    def span(
+        self,
+        name: str,
+        trace_id: str,
+        parent: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        return Span(self, name, trace_id, parent, args)
+
+    def span_at(
+        self,
+        name: str,
+        trace_id: str,
+        t0_us: int,
+        t1_us: int,
+        parent: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Emit a retrospective span (measured with perf timers elsewhere)."""
+        span = Span(self, name, trace_id, parent, args)
+        self._emit_span_event("b", span, t0_us)
+        self._emit_span_event("e", span, max(t0_us, t1_us))
+        return span.span_id
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
+
+
+_TRACERS: Dict[str, ServiceTracer] = {}
+_TRACERS_LOCK = threading.Lock()
+
+
+def service_tracer(component: str) -> Optional[ServiceTracer]:
+    """The per-process tracer for *component*, or ``None`` when tracing is off.
+
+    Tracing is on exactly when observability is configured with an
+    ``obs_dir`` (file sinks).  The result is cached per component so the
+    broker, runners, and coordinator each keep one open spans file.
+    """
+    from . import log as _log
+
+    config = _log.current_config()
+    if config is None:
+        return None
+    trace_dir = config.trace_dir
+    if not trace_dir:
+        return None
+    with _TRACERS_LOCK:
+        tracer = _TRACERS.get(component)
+        if tracer is None:
+            os.makedirs(trace_dir, exist_ok=True)
+            path = os.path.join(trace_dir, f"{component}-{os.getpid()}.jsonl")
+            tracer = ServiceTracer(component, path)
+            _TRACERS[component] = tracer
+        return tracer
+
+
+def reset_tracers() -> None:
+    """Close and drop all cached tracers (called on every reconfigure)."""
+    with _TRACERS_LOCK:
+        for tracer in _TRACERS.values():
+            tracer.close()
+        _TRACERS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Merging
+# ---------------------------------------------------------------------------
+
+def merge_service_traces(
+    trace_dir: Union[str, Path],
+    out_path: Optional[Union[str, Path]] = None,
+) -> dict:
+    """Fold every per-process span file into one Perfetto document.
+
+    Accepts either the ``traces/`` directory itself or an ``obs_dir`` root
+    that contains one.  Spans left open by a crashed process are closed
+    with a synthetic ``e`` event at the latest observed timestamp (and
+    counted in ``otherData.spans_truncated``) so the merged document always
+    passes :func:`repro.telemetry.trace_schema.validate_trace`.
+    """
+    root = Path(trace_dir)
+    if (root / "traces").is_dir():
+        root = root / "traces"
+    files = sorted(glob.glob(str(root / "*.jsonl")))
+    events: List[dict] = []
+    for name in files:
+        with open(name, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from a killed process
+                if isinstance(event, dict):
+                    events.append(event)
+
+    # Sort: metadata first, then by timestamp.
+    events.sort(key=lambda e: (0 if e.get("ph") == "M" else 1, e.get("ts", 0)))
+
+    # Repair unbalanced spans from crashed processes.
+    opens: Dict[Tuple[str, str], dict] = {}
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ("b", "e"):
+            continue
+        key = (str(event.get("cat")), str(event.get("id")))
+        if ph == "b":
+            opens[key] = event
+        else:
+            opens.pop(key, None)
+    max_ts = max((e.get("ts", 0) for e in events), default=0)
+    truncated = 0
+    for (cat, span_id), begin in sorted(opens.items()):
+        truncated += 1
+        events.append({
+            "ph": "e",
+            "cat": cat,
+            "id": span_id,
+            "name": begin.get("name", "?"),
+            "pid": begin.get("pid", 0),
+            "tid": begin.get("tid", 0),
+            "ts": max_ts,
+            "args": {"truncated": True},
+        })
+
+    trace_ids = sorted({
+        event.get("args", {}).get("trace_id")
+        for event in events
+        if isinstance(event.get("args"), dict) and event["args"].get("trace_id")
+    })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "kind": "service",
+            "generator": "repro.obs",
+            "sources": [os.path.basename(f) for f in files],
+            "trace_ids": trace_ids,
+            "spans_truncated": truncated,
+        },
+    }
+    if out_path is not None:
+        out = Path(out_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2, default=str) + "\n")
+    return doc

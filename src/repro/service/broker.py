@@ -50,9 +50,12 @@ from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
+from repro import obs
 from repro.campaign.executor import CACHED, COMPLETED, QUARANTINED
 from repro.campaign.store import ResultStore, atomic_write_json
 from repro.harness.runner import RunConfig, merge_cache_counts
+from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.trace import TRACE_HEADER, parse_trace_header
 from repro.service.index import ResultIndex
 from repro.service.journal import Journal, slim_item
 from repro.service.protocol import PROTOCOL_VERSION, BrokerError, check_protocol
@@ -61,6 +64,19 @@ from repro.system.machine import MachineResult
 QUEUED = "queued"
 LEASED = "leased"
 DONE = "done"
+
+_LOG = obs.get_logger("broker")
+
+#: Endpoint paths used as metric label values; anything else is "other"
+#: so a scanner probing random paths cannot blow up label cardinality.
+_ENDPOINTS = frozenset({
+    "/enqueue", "/claim", "/complete", "/heartbeat",
+    "/status", "/records", "/campaign", "/dashboard", "/", "/metrics",
+})
+
+
+def _now_us() -> int:
+    return int(time.time() * 1e6)
 
 #: Overlap-fraction samples kept per campaign for the dashboard trend.
 OVERLAP_TREND_CAP = 256
@@ -128,8 +144,155 @@ class Broker:
         self._lock = threading.RLock()
         self._campaigns: Dict[str, _Campaign] = {}
         self._runners: Dict[str, _Runner] = {}
-        self.journal = Journal(store_root)
+        self.metrics = self._build_metrics()
+        self.journal = Journal(
+            store_root, fsync_observer=self.m_journal_fsync.observe
+        )
         self.replayed_campaigns = self._replay_journal()
+        if self.replayed_campaigns:
+            _LOG.info(
+                "journal.replayed",
+                campaigns=self.replayed_campaigns,
+                corrupt_lines=self.journal.corrupt_lines,
+            )
+
+    def _build_metrics(self) -> "obs.MetricsRegistry":
+        """The /metrics registry.  Always on: a handful of dict updates
+        per request is noise next to the HTTP round trip, and a scrape
+        must work without any observability configuration."""
+        reg = obs.MetricsRegistry()
+        self.m_requests = reg.counter(
+            "repro_broker_requests_total",
+            "HTTP requests handled, by endpoint and status code",
+            labels=("endpoint", "code"),
+        )
+        self.m_rejects = reg.counter(
+            "repro_broker_rejects_total",
+            "Requests rejected before dispatch (auth, routing, parse)",
+            labels=("reason",),
+        )
+        self.m_request_latency = reg.histogram(
+            "repro_broker_request_seconds",
+            "Wall-clock request handling latency",
+            labels=("endpoint",),
+        )
+        self.m_lease_expiries = reg.counter(
+            "repro_broker_lease_expiries_total",
+            "Leases expired and requeued (runner presumed dead)",
+        )
+        self.m_dup_completes = reg.counter(
+            "repro_broker_duplicate_completes_total",
+            "Late or retried /complete calls dropped by at-most-once",
+        )
+        self.m_batches_enqueued = reg.counter(
+            "repro_broker_batches_enqueued_total",
+            "Batches accepted onto the queue",
+        )
+        self.m_runs_ingested = reg.counter(
+            "repro_broker_runs_ingested_total",
+            "Run records ingested into the store/index",
+        )
+        self.m_journal_fsync = reg.histogram(
+            "repro_broker_journal_fsync_seconds",
+            "Durability cost of one journal append (write+flush+fsync)",
+        )
+        self.m_ingest_latency = reg.histogram(
+            "repro_broker_ingest_seconds",
+            "Store/index ingestion latency per run record",
+        )
+        reg.gauge_func(
+            "repro_broker_queue_depth",
+            self._queue_depth_samples,
+            "Batches per state across all campaigns",
+            labels=("state",),
+        )
+        reg.gauge_func(
+            "repro_broker_campaigns", lambda: len(self._campaigns),
+            "Campaigns known to this broker",
+        )
+        reg.gauge_func(
+            "repro_broker_runners", lambda: len(self._runners),
+            "Runners that have ever checked in",
+        )
+        # Runner-side counters ship through the heartbeat channel
+        # (runner.stats) and are re-exported here, labelled per runner.
+        reg.counter_func(
+            "repro_runner_runs_done_total",
+            lambda: self._runner_samples(lambda r: r.runs_done),
+            "Run records reported by each runner",
+            labels=("runner",),
+        )
+        reg.counter_func(
+            "repro_runner_batches_done_total",
+            lambda: self._runner_samples(lambda r: r.batches_done),
+            "Batches completed by each runner",
+            labels=("runner",),
+        )
+        reg.gauge_func(
+            "repro_runner_runs_per_sec",
+            lambda: self._runner_samples(
+                lambda r: float(r.stats.get("runs_per_sec") or 0.0)
+            ),
+            "Rolling throughput from each runner's heartbeats",
+            labels=("runner",),
+        )
+        reg.counter_func(
+            "repro_runner_cache_events_total",
+            self._runner_cache_samples,
+            "Fork/trace cache hits and misses per runner (cumulative)",
+            labels=("runner", "cache", "kind"),
+        )
+        reg.counter_func(
+            "repro_runner_backoff_retries_total",
+            lambda: self._runner_obs_samples("backoff_retries"),
+            "Broker-request retry sleeps taken by each runner",
+            labels=("runner",),
+        )
+        reg.counter_func(
+            "repro_runner_batch_seconds_total",
+            lambda: self._runner_obs_samples("batch_seconds_total"),
+            "Wall-clock seconds each runner has spent executing batches",
+            labels=("runner",),
+        )
+        return reg
+
+    def _queue_depth_samples(self):
+        with self._lock:
+            depth = {QUEUED: 0, LEASED: 0, DONE: 0}
+            for campaign in self._campaigns.values():
+                for batch in campaign.batches.values():
+                    depth[batch.state] += 1
+        return [((state,), n) for state, n in sorted(depth.items())]
+
+    def _runner_samples(self, fn):
+        with self._lock:
+            return [((rid,), fn(r)) for rid, r in self._runners.items()]
+
+    def _runner_obs_samples(self, key: str):
+        with self._lock:
+            out = []
+            for rid, r in self._runners.items():
+                stats = r.stats.get("obs") or {}
+                if isinstance(stats, dict) and key in stats:
+                    out.append(((rid,), float(stats[key])))
+        return out
+
+    def _runner_cache_samples(self):
+        with self._lock:
+            out = []
+            for rid, r in self._runners.items():
+                cache = r.stats.get("cache") or {}
+                if not isinstance(cache, dict):
+                    continue
+                for section, counts in cache.items():
+                    if not isinstance(counts, dict):
+                        continue
+                    for kind in ("hits", "misses"):
+                        if kind in counts:
+                            out.append(
+                                ((rid, section, kind), float(counts[kind]))
+                            )
+        return out
 
     # -- manifests (the durable half of the queue) -------------------------
 
@@ -317,6 +480,13 @@ class Broker:
                 accepted += 1
         if manifest is not None:
             self._persist_manifest(campaign_id, dict(meta or {}), manifest)
+        if accepted:
+            self.m_batches_enqueued.inc(accepted)
+        _LOG.info(
+            "enqueue", campaign=campaign_id,
+            accepted=accepted, skipped=skipped,
+            batches=len(self._campaigns[campaign_id].batches),
+        )
         return {"accepted": accepted, "skipped": skipped,
                 "batches": len(self._campaigns[campaign_id].batches)}
 
@@ -377,10 +547,18 @@ class Broker:
                             # Leave the batch leased; the next expiry
                             # sweep retries the append.
                             continue
+                        _LOG.warning(
+                            "lease.expired",
+                            campaign=campaign.campaign_id,
+                            batch_id=batch.batch_id,
+                            runner_id=batch.lease_runner,
+                            attempts=batch.attempts,
+                        )
                         batch.state = QUEUED
                         batch.lease_runner = ""
                         batch.requeues += 1
                         self.requeues += 1
+                        self.m_lease_expiries.inc()
                         campaign.queue.append(batch.batch_id)
 
     def claim(self, runner_id: str, max_batches: int = 1) -> dict:
@@ -388,6 +566,7 @@ class Broker:
             raise BrokerError("claim needs a runner_id")
         self._expire_leases()
         now = self.clock()
+        t0_us = _now_us()
         granted: List[dict] = []
         with self._lock:
             self._touch_runner(runner_id)
@@ -428,11 +607,43 @@ class Broker:
                     })
                 if len(granted) >= max_batches:
                     break
+        if granted:
+            _LOG.info(
+                "claim.grant", runner_id=runner_id,
+                batches=[g["batch_id"] for g in granted],
+            )
+            tracer = obs.service_tracer("broker")
+            if tracer is not None:
+                # One retrospective span per grant, parented on the
+                # campaign span the coordinator shipped in the meta.
+                t1_us = _now_us()
+                for grant in granted:
+                    trace_meta = (grant.get("meta") or {}).get("trace") or {}
+                    trace_id = trace_meta.get("trace_id")
+                    if not trace_id:
+                        continue
+                    span_id = tracer.span_at(
+                        "claim", str(trace_id), t0_us, t1_us,
+                        parent=trace_meta.get("span_id"),
+                        args={
+                            "campaign_id": grant["campaign_id"],
+                            "batch_id": grant["batch_id"],
+                            "runner_id": runner_id,
+                            "attempt": grant["attempt"],
+                        },
+                    )
+                    # The runner parents its batch-run span on the claim
+                    # span; ship the id inside the grant's meta copy.
+                    meta = dict(grant["meta"])
+                    meta["trace"] = dict(trace_meta, claim_span=span_id)
+                    grant["meta"] = meta
         return {"batches": granted, "lease_s": self.lease_s}
 
     def complete(self, runner_id: str, campaign_id: str, batch_id: str,
                  items: List[dict],
-                 cache_stats: Optional[dict] = None) -> dict:
+                 cache_stats: Optional[dict] = None,
+                 trace_ctx: Optional[tuple] = None) -> dict:
+        t0_us = _now_us()
         with self._lock:
             campaign = self._campaigns.get(campaign_id)
             if campaign is None:
@@ -447,8 +658,14 @@ class Broker:
                 # a retried /complete: the first completion won.  Drop
                 # it -- never double-ingest.
                 campaign.duplicate_completes += 1
+                self.m_dup_completes.inc()
+                _LOG.info(
+                    "complete.duplicate", campaign=campaign_id,
+                    batch_id=batch_id, runner_id=runner_id,
+                )
                 return {"accepted": False, "reason": "already complete"}
             batch.completing = True
+            trace_meta = campaign.meta.get("trace") or {}
         # Store/index ingestion outside the queue lock (file and SQLite
         # I/O with its own locking; claims must not stall behind it) but
         # BEFORE the batch flips to DONE: the coordinator breaks its
@@ -461,7 +678,9 @@ class Broker:
         # re-ingest).
         try:
             for item in items:
+                t_item = time.perf_counter()
                 self._ingest_item(campaign, item)
+                self.m_ingest_latency.observe(time.perf_counter() - t_item)
             self.journal.append(
                 campaign_id, "complete",
                 batch_id=batch_id, runner_id=runner_id,
@@ -487,6 +706,32 @@ class Broker:
             # runner.stats["cache"] is owned by heartbeats (the runner
             # process's cumulative counters); merging the per-batch
             # delta here too would double-count hits and misses.
+        self.m_runs_ingested.inc(len(items))
+        _LOG.info(
+            "complete", campaign=campaign_id, batch_id=batch_id,
+            runner_id=runner_id, items=len(items),
+        )
+        tracer = obs.service_tracer("broker")
+        if tracer is not None:
+            # Parent the ingest span on the runner's batch-run span
+            # (from the X-Repro-Trace header) when it was propagated;
+            # fall back to the campaign root from the enqueue meta.
+            trace_id = parent = None
+            if trace_ctx:
+                trace_id, parent = trace_ctx
+            elif trace_meta.get("trace_id"):
+                trace_id = str(trace_meta["trace_id"])
+                parent = trace_meta.get("span_id")
+            if trace_id:
+                tracer.span_at(
+                    "ingest", trace_id, t0_us, _now_us(), parent=parent,
+                    args={
+                        "campaign_id": campaign_id,
+                        "batch_id": batch_id,
+                        "runner_id": runner_id,
+                        "items": len(items),
+                    },
+                )
         return {"accepted": True}
 
     def _ingest_item(self, campaign: _Campaign, item: dict) -> None:
@@ -640,7 +885,14 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
-        pass  # keep CI logs readable; the broker has /status
+        # Routed through the structured logger (a no-op unless obs is
+        # configured) instead of discarded: CI logs stay readable, but
+        # an operator with REPRO_OBS_DIR set gets every access line.
+        _LOG.debug(
+            "http.access",
+            message=fmt % args,
+            remote=self.client_address[0],
+        )
 
     # -- chaos (server-side fault injection) -------------------------------
 
@@ -678,9 +930,12 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             self._chaos_truncate = False
             body = body[: max(1, len(body) // 2)]
             self.close_connection = True
+        self._reply_code = code
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_cid", None):
+            self.send_header("X-Repro-Correlation", self._cid)
         if cors:
             # Only the read-only dashboard poll endpoint is cross-origin
             # (an externally served page polling /status); everything
@@ -718,17 +973,52 @@ class _BrokerHandler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------
 
+    def _observed(self, method: str, handler) -> None:
+        """Instrumentation envelope shared by GET and POST.
+
+        Every request gets a correlation id (bound into the structured
+        log context and echoed back in ``X-Repro-Correlation``), a
+        latency observation, and a ``requests_total`` count by endpoint
+        and final status code.
+        """
+        path = urlparse(self.path).path
+        endpoint = path if path in _ENDPOINTS else "other"
+        self._cid = obs.new_correlation_id()
+        self._reply_code = 0
+        t0 = time.perf_counter()
+        with obs.bind(correlation_id=self._cid, http=f"{method} {path}"):
+            try:
+                handler()
+            finally:
+                metrics_attrs = self.broker
+                metrics_attrs.m_request_latency.observe(
+                    time.perf_counter() - t0, endpoint=endpoint
+                )
+                metrics_attrs.m_requests.inc(
+                    endpoint=endpoint, code=str(self._reply_code or 500)
+                )
+
     def do_POST(self):  # noqa: N802 - stdlib name
+        self._observed("POST", self._handle_post)
+
+    def do_GET(self):  # noqa: N802 - stdlib name
+        self._observed("GET", self._handle_get)
+
+    def _handle_post(self):
         path = urlparse(self.path).path
         if self._chaos_preempt(path):
             return
         if not self._authorized():
+            self.broker.m_rejects.inc(reason="unauthorized")
+            _LOG.warning("http.unauthorized", path=path)
             return self._reply(
                 {"error": "missing or invalid X-Repro-Token"}, code=401
             )
         try:
             body = self._read_json()
         except BrokerError as exc:
+            self.broker.m_rejects.inc(reason="bad_json")
+            _LOG.warning("http.bad_json", path=path, error=str(exc))
             return self._reply({"error": str(exc)}, code=400)
         broker = self.broker
         if path == "/enqueue":
@@ -744,12 +1034,14 @@ class _BrokerHandler(BaseHTTPRequestHandler):
                 int(body.get("max_batches", 1)),
             ))
         elif path == "/complete":
+            trace_ctx = parse_trace_header(self.headers.get(TRACE_HEADER))
             self._dispatch(lambda: broker.complete(
                 str(body.get("runner_id", "")),
                 str(body.get("campaign_id", "")),
                 str(body.get("batch_id", "")),
                 list(body.get("items", [])),
                 dict(body.get("cache_stats") or {}),
+                trace_ctx=trace_ctx,
             ))
         elif path == "/heartbeat":
             self._dispatch(lambda: broker.heartbeat(
@@ -757,15 +1049,22 @@ class _BrokerHandler(BaseHTTPRequestHandler):
                 dict(body.get("stats") or {}),
             ))
         else:
+            self.broker.m_rejects.inc(reason="not_found")
+            _LOG.info("http.not_found", path=path, method="POST")
             self._reply({"error": f"no such endpoint {path}"}, code=404)
 
-    def do_GET(self):  # noqa: N802 - stdlib name
+    def _handle_get(self):
         parsed = urlparse(self.path)
         if self._chaos_preempt(parsed.path):
             return
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         broker = self.broker
-        if parsed.path == "/status":
+        if parsed.path == "/metrics":
+            self._reply(
+                broker.metrics.render().encode(),
+                content_type=METRICS_CONTENT_TYPE,
+            )
+        elif parsed.path == "/status":
             self._dispatch(
                 lambda: broker.status(params.get("campaign_id")),
                 cors=True,
@@ -786,6 +1085,8 @@ class _BrokerHandler(BaseHTTPRequestHandler):
                 content_type="text/html; charset=utf-8",
             )
         else:
+            self.broker.m_rejects.inc(reason="not_found")
+            _LOG.info("http.not_found", path=parsed.path, method="GET")
             self._reply({"error": f"no such endpoint {parsed.path}"},
                         code=404)
 
@@ -850,6 +1151,7 @@ def serve_broker(host: str, port: int, store_root: Union[str, Path],
                  lease_s: float = 60.0,
                  token: Optional[str] = None) -> None:
     """Blocking entry point behind ``python -m repro broker``."""
+    obs.install_signal_dump()
     broker = Broker(store_root, lease_s=lease_s)
     server = BrokerServer(broker, host=host, port=port, token=token)
     auth = "on (X-Repro-Token)" if server.token else "off"
@@ -860,9 +1162,13 @@ def serve_broker(host: str, port: int, store_root: Union[str, Path],
               "that can reach this port can enqueue and complete work; "
               "set REPRO_BROKER_TOKEN (or pass --token)")
     print(f"dashboard: {server.url}/dashboard")
+    _LOG.info("broker.start", url=server.url, store=str(broker.store.root),
+              lease_s=lease_s, auth=bool(server.token))
     try:
-        server.serve_forever()
+        with obs.crash_dump("broker"):
+            server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        _LOG.info("broker.stop")
         server.shutdown()

@@ -54,8 +54,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.campaign.pool import Backoff
 from repro.campaign.store import install_fs
+
+_LOG = obs.get_logger("chaos")
 
 # -- fault kinds -------------------------------------------------------------
 
@@ -456,6 +459,7 @@ def run_chaos_campaign(
         except ChaosKill:
             with state_lock:
                 state["kills"] += 1
+            _LOG.warning("chaos.runner_killed", runner_id=rid)
 
     def spawn_runner(idx: int) -> None:
         spawned[0] += 1
@@ -482,6 +486,10 @@ def run_chaos_campaign(
                 old_broker.journal.close()
                 with state_lock:
                     state["restarts"] += 1
+                _LOG.warning(
+                    "chaos.broker_restart", restarts=state["restarts"],
+                    done_batches=done,
+                )
                 start_broker()
             for idx, t in list(threads.items()):
                 if not t.is_alive():

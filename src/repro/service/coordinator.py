@@ -33,9 +33,10 @@ import subprocess
 import sys
 import time
 import uuid
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext as _null_cm
 from typing import Iterable, List, Optional, Union
 
+from repro import obs
 from repro.campaign.executor import (
     CampaignResult,
     RunRecord,
@@ -54,6 +55,8 @@ from repro.service.protocol import (
     batch_id_for,
 )
 from repro.system.machine import MachineResult
+
+_LOG = obs.get_logger("coordinator")
 
 
 def new_campaign_id() -> str:
@@ -134,6 +137,22 @@ def run_distributed_campaign(
     else:
         configs = grid.expand() if isinstance(grid, GridSpec) else list(grid)
 
+    # One trace id per campaign: every broker/runner span of this
+    # submission hangs off the campaign span opened here.  The span is
+    # closed on the success path; a coordinator crash leaves it open and
+    # merge_service_traces closes it as truncated.
+    tracer = obs.service_tracer("coordinator")
+    campaign_span = None
+    trace_meta = None
+    if tracer is not None:
+        trace_id = obs.new_trace_id()
+        campaign_span = tracer.span(
+            "campaign", trace_id,
+            args={"campaign_id": cid, "configs": len(configs)},
+        ).begin()
+        trace_meta = {"trace_id": trace_id,
+                      "span_id": campaign_span.span_id}
+
     records: List[Optional[RunRecord]] = [None] * len(configs)
     pending = prescan(
         configs, records, store,
@@ -152,6 +171,8 @@ def run_distributed_campaign(
             "guard": guard_cfg.to_dict() if guard_cfg is not None else None,
             "telemetry": tel_cfg.to_dict() if tel_cfg is not None else None,
         }
+        if trace_meta is not None:
+            meta["trace"] = dict(trace_meta)
         store_root = getattr(store, "root", None)
         if store_root and guard_cfg is None and tel_cfg is None:
             meta["trace_dir"] = os.path.join(str(store_root), "traces")
@@ -164,10 +185,23 @@ def run_distributed_campaign(
                 "configs": payloads,
             })
         submitted = [b["batch_id"] for b in batches]
-        client.enqueue(
-            cid, batches, meta,
-            manifest=[c.to_dict() for c in configs],
+        _LOG.info(
+            "campaign.plan", campaign=cid, configs=len(configs),
+            pending=len(pending), batches=len(batches),
         )
+        enqueue_cm = (
+            tracer.span(
+                "enqueue", trace_meta["trace_id"],
+                parent=trace_meta["span_id"],
+                args={"campaign_id": cid, "batches": len(batches)},
+            )
+            if tracer is not None else _null_cm()
+        )
+        with enqueue_cm:
+            client.enqueue(
+                cid, batches, meta,
+                manifest=[c.to_dict() for c in configs],
+            )
 
         # Drain: poll until every batch this submission covers is done.
         last_done = -1
@@ -226,6 +260,12 @@ def run_distributed_campaign(
     summary = summarize_records(
         done_records, time.monotonic() - t0, store, broker_caches
     )
+    _LOG.info(
+        "campaign.done", campaign=cid, records=len(done_records),
+        seconds=round(time.monotonic() - t0, 3),
+    )
+    if campaign_span is not None:
+        campaign_span.end(records=len(done_records))
     result = CampaignResult(done_records, summary)
     result.campaign_id = cid  # type: ignore[attr-defined]
     return result

@@ -102,6 +102,32 @@ def parse_where(pairs: Sequence[str]) -> Dict[str, object]:
     return out
 
 
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_duration(text: str) -> float:
+    """``"90"``/``"90s"``/``"15m"``/``"2h"``/``"1d"`` -> seconds.
+
+    Raises ``ValueError`` with the accepted forms in the message so the
+    CLI can surface it verbatim (``repro results --since 15m``).
+    """
+    raw = text.strip().lower()
+    unit = 1.0
+    if raw and raw[-1] in _DURATION_UNITS:
+        unit = _DURATION_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * unit
+    except ValueError:
+        raise ValueError(
+            f"bad duration {text!r}: expected NUMBER[s|m|h|d], "
+            f"e.g. 90s, 15m, 2h, 1d"
+        )
+    if seconds < 0:
+        raise ValueError(f"bad duration {text!r}: must be non-negative")
+    return seconds
+
+
 class ResultIndex:
     """Queryable SQLite mirror of a result-store directory."""
 
@@ -302,7 +328,8 @@ class ResultIndex:
 
     def _select(self, where: Optional[Dict[str, object]],
                 status: Optional[Sequence[str]],
-                version: Optional[str]) -> Tuple[str, List[object]]:
+                version: Optional[str],
+                since: Optional[float] = None) -> Tuple[str, List[object]]:
         clauses: List[str] = []
         params: List[object] = []
         for column, value in (where or {}).items():
@@ -318,6 +345,10 @@ class ResultIndex:
         if version is not None:
             clauses.append("version = ?")
             params.append(version)
+        if since is not None:
+            # Rows touched within the last `since` seconds.
+            clauses.append("updated_at >= ?")
+            params.append(time.time() - float(since))
         sql = " AND ".join(clauses)
         return (f" WHERE {sql}" if sql else ""), params
 
@@ -328,9 +359,10 @@ class ResultIndex:
         version: Optional[str] = None,
         limit: Optional[int] = None,
         order_by: str = "scheme, workload, seed, key",
+        since: Optional[float] = None,
     ) -> List[Dict[str, object]]:
         """Matching rows as plain dicts (``metrics``/``knobs`` decoded)."""
-        clause, params = self._select(where, status, version)
+        clause, params = self._select(where, status, version, since)
         sql = f"SELECT * FROM results{clause} ORDER BY {order_by}"
         if limit is not None:
             sql += " LIMIT ?"
@@ -354,8 +386,9 @@ class ResultIndex:
         where: Optional[Dict[str, object]] = None,
         status: Optional[Sequence[str]] = None,
         version: Optional[str] = None,
+        since: Optional[float] = None,
     ) -> int:
-        clause, params = self._select(where, status, version)
+        clause, params = self._select(where, status, version, since)
         with self._lock:
             row = self._conn.execute(
                 f"SELECT COUNT(*) AS n FROM results{clause}", params

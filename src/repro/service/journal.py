@@ -32,9 +32,14 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import zlib
 from pathlib import Path
-from typing import Dict, IO, List, Optional, Union
+from typing import Callable, Dict, IO, List, Optional, Union
+
+from repro import obs
+
+_LOG = obs.get_logger("journal")
 
 #: Fields stripped from complete-items before journaling.  Results and
 #: telemetry are bulky and already durable in the content-addressed
@@ -60,12 +65,17 @@ def slim_item(item: dict) -> dict:
 class Journal:
     """Per-campaign append-only transition log with fsync-per-append."""
 
-    def __init__(self, store_root: Union[str, Path]):
+    def __init__(self, store_root: Union[str, Path],
+                 fsync_observer: Optional[Callable[[float], None]] = None):
         self.root = Path(store_root) / "service" / "journal"
         self._lock = threading.Lock()
         self._handles: Dict[str, IO[bytes]] = {}
+        self._closed = False
         self.appends = 0
         self.corrupt_lines = 0
+        #: Called with the seconds one append's write+flush+fsync took
+        #: (the broker feeds its fsync-latency histogram with this).
+        self.fsync_observer = fsync_observer
 
     def path_for(self, campaign_id: str) -> Path:
         return self.root / f"{campaign_id}.jsonl"
@@ -83,6 +93,15 @@ class Journal:
         line = json.dumps(entry, sort_keys=True,
                           separators=(",", ":")).encode() + b"\n"
         with self._lock:
+            if self._closed:
+                # A closed journal belongs to a dead broker (shutdown or
+                # the chaos harness's kill).  Refusing the append -- not
+                # resurrecting the file -- is what keeps a killed
+                # broker's in-flight handler from writing entries the
+                # successor already replayed past: the caller's error
+                # path leaves the batch leased, the lease expires, and
+                # the re-run converges idempotently.
+                raise OSError("journal is closed")
             fh = self._handles.get(campaign_id)
             if fh is None or fh.closed:
                 self.root.mkdir(parents=True, exist_ok=True)
@@ -90,13 +109,19 @@ class Journal:
                 self._handles[campaign_id] = fh
             from repro.campaign.store import _FS
 
+            t0 = time.perf_counter()
             _FS.write(fh, line, path=self.path_for(campaign_id))
             fh.flush()
             _FS.fsync(fh.fileno())
             self.appends += 1
+            if self.fsync_observer is not None:
+                self.fsync_observer(time.perf_counter() - t0)
+        _LOG.debug("journal.append", campaign=campaign_id, op=op,
+                   bytes=len(line))
 
     def close(self) -> None:
         with self._lock:
+            self._closed = True
             for fh in self._handles.values():
                 try:
                     fh.close()
@@ -141,6 +166,12 @@ class Journal:
                 entries.append(entry)
             if entries:
                 out[path.stem] = entries
+        if out:
+            _LOG.info(
+                "journal.replay", campaigns=len(out),
+                entries=sum(len(v) for v in out.values()),
+                corrupt_lines=self.corrupt_lines,
+            )
         return out
 
     def stats(self) -> Dict[str, object]:

@@ -39,8 +39,12 @@ import urllib.request
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.campaign.pool import Backoff
+from repro.obs.log import get_logger
+from repro.obs.trace import TRACE_HEADER, current_trace_header
 
 PROTOCOL_VERSION = 1
+
+_LOG = get_logger("protocol")
 
 #: Reconnect policy for runner->broker and coordinator->broker calls.
 CLIENT_BACKOFF = Backoff(base=0.2, cap=5.0)
@@ -129,6 +133,10 @@ class BrokerClient:
         #: the time, so a dead broker surfaces as BrokerUnreachable no
         #: later than ``deadline_s`` after the first attempt.
         self.deadline_s = deadline_s
+        #: Backoff sleeps taken across this client's lifetime; runners
+        #: ship it broker-ward in heartbeats, the broker re-exports it
+        #: as ``repro_runner_backoff_retries_total``.
+        self.retries_total = 0
 
     # -- transport ---------------------------------------------------------
 
@@ -150,6 +158,11 @@ class BrokerClient:
         headers = {"Accept": "application/json"}
         if self.token:
             headers["X-Repro-Token"] = self.token
+        # Propagate the active service span (if any) so the broker can
+        # parent its ingest span on the runner's batch-run span.
+        trace_header = current_trace_header()
+        if trace_header:
+            headers[TRACE_HEADER] = trace_header
         if payload is not None:
             body = dict(payload)
             body["protocol"] = PROTOCOL_VERSION
@@ -215,6 +228,11 @@ class BrokerClient:
             if attempt < tries:
                 if deadline is not None and time.monotonic() >= deadline:
                     break
+                self.retries_total += 1
+                _LOG.debug(
+                    "request.retry", path=path, attempt=attempt,
+                    error=last_error,
+                )
                 self.backoff.sleep(attempt, sleep=self._sleep)
         raise BrokerUnreachable(
             f"broker unreachable at {self._netloc()} after {attempt} "

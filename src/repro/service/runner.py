@@ -21,6 +21,7 @@ elsewhere.  All broker I/O retries with the shared jittered-exponential
 
 from __future__ import annotations
 
+import contextlib
 import os
 import signal
 import socket
@@ -28,6 +29,7 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro import obs
 from repro.campaign.executor import run_campaign
 from repro.harness.runner import cache_counts, cache_delta
 from repro.service.protocol import (
@@ -36,6 +38,8 @@ from repro.service.protocol import (
     record_to_item,
 )
 from repro.telemetry.heartbeat import HeartbeatStats, make_heartbeat
+
+_LOG = obs.get_logger("runner")
 
 
 def default_runner_id() -> str:
@@ -154,6 +158,7 @@ def runner_loop(
     rid = runner_id or default_runner_id()
     hb = HeartbeatStats()
     done = 0
+    batch_seconds_total = 0.0
     idle_since: Optional[float] = None
     unreachable_since: Optional[float] = None
     stop = stop or threading.Event()
@@ -162,8 +167,17 @@ def runner_loop(
         if verbose:
             print(f"runner {rid}: {msg}", flush=True)
 
+    def _obs_counters() -> dict:
+        # getattr: injected test/chaos clients need not carry the counter.
+        return {
+            "backoff_retries": getattr(client, "retries_total", 0),
+            "batch_seconds_total": batch_seconds_total,
+            "batches_done": done,
+        }
+
     def _on_sigterm(signum, frame):
         _say("SIGTERM: draining in-flight batch, then exiting")
+        _LOG.info("runner.drain", runner_id=rid, reason="SIGTERM")
         stop.set()
 
     prev_handler = None
@@ -191,6 +205,7 @@ def runner_loop(
                     # An embedded/CI runner whose broker went away is
                     # done.
                     _say("broker unreachable; exiting")
+                    _LOG.warning("broker.unreachable", runner_id=rid)
                     return done
                 now = time.monotonic()
                 if unreachable_since is None:
@@ -216,6 +231,13 @@ def runner_loop(
             for batch in batches:
                 _say(f"claimed batch {batch['batch_id']} "
                      f"({len(batch['configs'])} configs)")
+                _LOG.info(
+                    "batch.claim", runner_id=rid,
+                    campaign=batch["campaign_id"],
+                    batch_id=batch["batch_id"],
+                    configs=len(batch["configs"]),
+                    attempt=batch.get("attempt"),
+                )
                 t0 = time.monotonic()
                 last_progress: dict = {}
 
@@ -226,7 +248,8 @@ def runner_loop(
                     last_progress.update(info)
                     hb.observe(completed=info.get("completed", 0))
                     client.heartbeat(rid, make_heartbeat(
-                        rid, info, cache_counts(), hb
+                        rid, info, cache_counts(), hb,
+                        obs_counters=_obs_counters(),
                     ))
 
                 # Progress events only fire when a run *completes*, so
@@ -240,7 +263,8 @@ def runner_loop(
                     interval = max(0.1, lease_s / 3.0)
                     while not stop_renewal.wait(interval):
                         client.heartbeat(rid, make_heartbeat(
-                            rid, dict(last_progress), cache_counts(), hb
+                            rid, dict(last_progress), cache_counts(), hb,
+                            obs_counters=_obs_counters(),
                         ))
 
                 renewal = threading.Thread(
@@ -248,31 +272,64 @@ def runner_loop(
                     daemon=True,
                 )
                 renewal.start()
-                try:
-                    items, delta = execute_batch(
-                        batch, jobs=jobs, on_event=on_event
-                    )
-                finally:
-                    stop_renewal.set()
-                    renewal.join(timeout=10)
-                for item in items:
-                    overlap = (item.get("telemetry") or {}).get(
-                        "overlap_fraction"
-                    )
-                    if overlap is not None:
-                        hb.observe_overlap(overlap)
-                # Even when stop was requested mid-batch (SIGTERM
-                # drain), the finished batch is reported before the
-                # loop exits -- the work is never thrown away.
-                answer = client.complete(
-                    rid, batch["campaign_id"], batch["batch_id"], items,
-                    cache_stats=delta,
+                # The batch-run span covers execution AND the complete
+                # report: while it is active the client stamps
+                # X-Repro-Trace on /complete, which is how the broker
+                # parents its ingest span onto this one.
+                trace_meta = (batch.get("meta") or {}).get("trace") or {}
+                tracer = (
+                    obs.service_tracer("runner")
+                    if trace_meta.get("trace_id") else None
                 )
+                span_cm = (
+                    tracer.span(
+                        "batch-run", str(trace_meta["trace_id"]),
+                        parent=(trace_meta.get("claim_span")
+                                or trace_meta.get("span_id")),
+                        args={
+                            "campaign_id": batch["campaign_id"],
+                            "batch_id": batch["batch_id"],
+                            "runner_id": rid,
+                            "configs": len(batch["configs"]),
+                        },
+                    )
+                    if tracer is not None else contextlib.nullcontext()
+                )
+                with span_cm:
+                    try:
+                        items, delta = execute_batch(
+                            batch, jobs=jobs, on_event=on_event
+                        )
+                    finally:
+                        stop_renewal.set()
+                        renewal.join(timeout=10)
+                    for item in items:
+                        overlap = (item.get("telemetry") or {}).get(
+                            "overlap_fraction"
+                        )
+                        if overlap is not None:
+                            hb.observe_overlap(overlap)
+                    # Even when stop was requested mid-batch (SIGTERM
+                    # drain), the finished batch is reported before the
+                    # loop exits -- the work is never thrown away.
+                    answer = client.complete(
+                        rid, batch["campaign_id"], batch["batch_id"],
+                        items, cache_stats=delta,
+                    )
+                batch_s = time.monotonic() - t0
+                batch_seconds_total += batch_s
                 done += 1
                 _say(f"batch {batch['batch_id']} done: "
                      f"{len(items)} records "
-                     f"in {time.monotonic() - t0:.2f}s "
+                     f"in {batch_s:.2f}s "
                      f"(accepted={answer.get('accepted')})")
+                _LOG.info(
+                    "batch.done", runner_id=rid,
+                    campaign=batch["campaign_id"],
+                    batch_id=batch["batch_id"],
+                    items=len(items), seconds=round(batch_s, 3),
+                    accepted=answer.get("accepted"),
+                )
         if stop.is_set():
             _say(f"stopped after draining; {done} batch(es) completed")
         return done

@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.campaign.store import (
     ResultStore,
     atomic_write_json,
@@ -36,6 +37,8 @@ from repro.campaign.store import (
 )
 
 SCRUB_REPORT = "scrub_report.json"
+
+_LOG = obs.get_logger("scrub")
 
 
 def scrub_report_path(store_root) -> Path:
@@ -117,6 +120,10 @@ def scrub_store(store: ResultStore, index=None,
                 "key": path.stem,
                 "reason": reason,
             }
+            _LOG.warning(
+                "scrub.corrupt", path=entry["path"], reason=reason,
+                repair=bool(repair),
+            )
             if repair:
                 corrupt_dir.mkdir(parents=True, exist_ok=True)
                 dest = corrupt_dir / path.name
@@ -149,4 +156,8 @@ def scrub_store(store: ResultStore, index=None,
         and not report["quarantined_corrupt"]
     report["at"] = time.time()
     atomic_write_json(scrub_report_path(root), report)
+    _LOG.info(
+        "scrub.done", store=str(root), checked=report["checked"],
+        ok=report["ok"], moved=report["moved"], clean=report["clean"],
+    )
     return report

@@ -58,12 +58,16 @@ def make_heartbeat(
     progress: Dict[str, object],
     cache_counts: Dict[str, Dict[str, int]],
     stats: Optional[HeartbeatStats] = None,
+    obs_counters: Optional[Dict[str, float]] = None,
 ) -> Dict[str, object]:
     """The canonical heartbeat payload.
 
     ``progress`` is a campaign progress-event info dict
     (``completed``/``outstanding``/``total``); ``cache_counts`` the
     transportable :func:`repro.harness.runner.cache_counts` sections.
+    ``obs_counters`` are cumulative runner-process observability
+    counters (backoff retries, batch wall-clock seconds, batches done)
+    that the broker re-exports per runner on ``/metrics``.
     """
     payload: Dict[str, object] = {
         "runner_id": runner_id,
@@ -77,6 +81,9 @@ def make_heartbeat(
         payload["overlap_recent"] = [
             round(v, 4) for v in stats.recent_overlaps()
         ]
+    if obs_counters:
+        payload["obs"] = {k: round(float(v), 4)
+                          for k, v in obs_counters.items()}
     return payload
 
 

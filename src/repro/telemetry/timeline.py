@@ -164,6 +164,20 @@ def summarize_trace(doc: dict) -> dict:
             if values:
                 sample_stats[out_key] = fn(values)
 
+    # Merged service traces (schema v2, repro.obs): per-span-name latency
+    # percentiles for the campaign -> enqueue -> claim -> batch-run ->
+    # ingest tree, plus which components contributed events.
+    service_spans = {
+        name: _percentiles([e - s for s, e, _ in spans])
+        for name, spans in sorted(_async_spans(events, "service").items())
+    }
+    service_components: Dict[str, int] = {}
+    for event in events:
+        if event.get("cat") != "service" or event.get("ph") != "b":
+            continue
+        component = (event.get("args") or {}).get("component", "?")
+        service_components[component] = service_components.get(component, 0) + 1
+
     return {
         "scheme": other.get("scheme"),
         "workload": other.get("workload"),
@@ -178,6 +192,9 @@ def summarize_trace(doc: dict) -> dict:
             "fill_latency": _percentiles([e - s for s, e in fill_spans]),
             "writeback_latency": _percentiles([e - s for s, e in wb_spans]),
         },
+        "service_spans": service_spans,
+        "service_components": service_components,
+        "trace_ids": other.get("trace_ids") or [],
         "os_stalls": os_stalls,
         "stall_breakdown": other.get("stall_breakdown"),
         "overlap_fraction": overlap_fraction(fill_spans, tag_miss_spans),
@@ -189,8 +206,11 @@ def summarize_trace(doc: dict) -> dict:
 
 def describe_summary(summary: dict) -> str:
     """Human-readable rendering of :func:`summarize_trace`."""
+    head = f"{summary.get('scheme')}/{summary.get('workload')}"
+    if summary.get("service_spans") and not summary.get("scheme"):
+        head = "service campaign trace"
     lines = [
-        f"timeline: {summary.get('scheme')}/{summary.get('workload')} -- "
+        f"timeline: {head} -- "
         f"{summary['events']} trace events, "
         f"{summary['samples'].get('count', 0)} samples"
     ]
@@ -219,6 +239,28 @@ def describe_summary(summary: dict) -> str:
             f"  overlap fraction: {frac:.3f} "
             f"(fill time overlapped with execution; blocking designs ~0)"
         )
+    service = summary.get("service_spans") or {}
+    if service:
+        trace_ids = summary.get("trace_ids") or []
+        components = summary.get("service_components") or {}
+        lines.append(
+            f"  service spans ({len(trace_ids)} trace id(s); "
+            + ", ".join(f"{k}:{v}" for k, v in sorted(components.items()))
+            + "):"
+        )
+        order = ["campaign", "enqueue", "claim", "batch-run", "ingest"]
+        ranked = sorted(
+            service.items(),
+            key=lambda kv: (order.index(kv[0]) if kv[0] in order else 99,
+                            kv[0]),
+        )
+        for name, pct in ranked:
+            if not pct.get("count"):
+                continue
+            lines.append(
+                f"    {name}: {pct['count']} x p50={pct['p50'] / 1e3:.1f}ms "
+                f"p95={pct['p95'] / 1e3:.1f}ms max={pct['max'] / 1e3:.1f}ms"
+            )
     stalls = summary.get("os_stalls") or {}
     if stalls:
         lines.append("  top OS stall sources:")

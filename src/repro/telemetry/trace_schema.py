@@ -1,10 +1,19 @@
-"""Validation of the emitted trace-event documents (schema version 1).
+"""Validation of the emitted trace-event documents.
 
 ``validate_trace`` returns a list of problems (empty = valid).  Used by
 ``repro timeline`` before summarizing, by the telemetry tests, and by
 the CI telemetry-smoke job -- the schema documented in
 :mod:`repro.telemetry.tracer` is a published contract, so drift must
 fail loudly rather than silently producing Perfetto-unloadable JSON.
+
+Schema versions:
+
+* **1** -- single-run simulation traces (:mod:`repro.telemetry.tracer`).
+* **2** -- adds the ``service`` category for cross-process campaign
+  spans (:mod:`repro.obs.trace`): async ``b``/``e`` events whose
+  ``args`` must carry the campaign-wide ``trace_id`` and their own
+  ``span_id`` (equal to the event ``id``, which is what keeps the
+  balance check exact across interleaved processes).
 """
 
 from __future__ import annotations
@@ -12,6 +21,10 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 ALLOWED_PHASES = {"M", "b", "e", "n", "X", "C"}
+KNOWN_SCHEMA_VERSIONS = {1, 2}
+
+#: Category of cross-process service spans (schema version 2+).
+CAT_SERVICE = "service"
 
 # Keys required per phase, beyond the universal ones.
 _NEEDS_TS = {"b", "e", "n", "X", "C"}
@@ -32,10 +45,18 @@ def validate_trace(doc: object, max_problems: int = 20) -> List[str]:
     if not isinstance(events, list):
         return ["missing or non-list 'traceEvents'"]
     other = doc.get("otherData")
+    schema_version = 1
     if not isinstance(other, dict):
         problems.append("missing or non-dict 'otherData'")
     elif not isinstance(other.get("schema_version"), int):
         problems.append("otherData.schema_version missing or not an int")
+    elif other["schema_version"] not in KNOWN_SCHEMA_VERSIONS:
+        problems.append(
+            f"otherData.schema_version {other['schema_version']} not in "
+            f"{sorted(KNOWN_SCHEMA_VERSIONS)}"
+        )
+    else:
+        schema_version = other["schema_version"]
     if "samples" in doc and not isinstance(doc["samples"], list):
         problems.append("'samples' present but not a list")
 
@@ -69,6 +90,26 @@ def validate_trace(doc: object, max_problems: int = 20) -> List[str]:
                     balance[key] = balance.get(key, 0) + 1
                 elif ph == "e":
                     balance[key] = balance.get(key, 0) - 1
+            if event.get("cat") == CAT_SERVICE:
+                if schema_version < 2:
+                    _fail(
+                        f"event[{i}]: 'service' category requires "
+                        f"schema_version >= 2"
+                    )
+                elif ph == "b":
+                    args = event.get("args")
+                    if not isinstance(args, dict) or not isinstance(
+                        args.get("trace_id"), str
+                    ):
+                        _fail(
+                            f"event[{i}] (service b): args.trace_id "
+                            f"missing or not a string"
+                        )
+                    elif args.get("span_id") != str(event.get("id")):
+                        _fail(
+                            f"event[{i}] (service b): args.span_id must "
+                            f"equal the event id"
+                        )
         if ph == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:

@@ -1,0 +1,41 @@
+"""The obs-overhead regression gate (no service campaigns are run here;
+`run_obs_bench` itself is exercised by `repro bench --obs` in CI)."""
+
+from repro.harness.bench import OBS_OVERHEAD_FAIL_FRAC, check_regression
+
+
+def _measured(frac, noise):
+    return {"scenarios": {}, "obs_overhead_frac": frac,
+            "obs_noise_frac": noise}
+
+
+def test_overhead_within_budget_is_silent():
+    assert check_regression({"scenarios": {}}, _measured(0.03, 0.01)) == []
+    assert check_regression({"scenarios": {}}, _measured(-0.02, 0.10)) == []
+
+
+def test_real_regression_fails():
+    problems = check_regression({"scenarios": {}}, _measured(0.50, 0.02))
+    assert any(p.startswith("FAIL") and "50.0%" in p for p in problems)
+
+
+def test_noisy_host_warns_instead_of_failing():
+    # 6% measured overhead against a 14% rep-noise floor: the
+    # measurement cannot distinguish that from zero, so the gate warns.
+    problems = check_regression({"scenarios": {}}, _measured(0.06, 0.14))
+    assert len(problems) == 1
+    assert problems[0].startswith("warn") and "noise" in problems[0]
+
+
+def test_gate_boundary_tracks_three_sigma_of_noise():
+    assert any(p.startswith("FAIL") for p in
+               check_regression({"scenarios": {}}, _measured(0.31, 0.10)))
+    assert not any(p.startswith("FAIL") for p in
+                   check_regression({"scenarios": {}}, _measured(0.29, 0.10)))
+
+
+def test_missing_noise_field_defaults_to_strict():
+    measured = {"scenarios": {}, "obs_overhead_frac": 0.06}
+    problems = check_regression({"scenarios": {}}, measured)
+    assert any(p.startswith("FAIL") for p in problems)
+    assert OBS_OVERHEAD_FAIL_FRAC == 0.05

@@ -1,0 +1,12 @@
+"""Obs tests mutate process-global state; always restore it."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_restored():
+    previous = obs.current_config()
+    yield
+    obs.configure(previous)

@@ -1,0 +1,136 @@
+"""Structured logging: config lifecycle, context binding, flight recorder."""
+
+import json
+
+from repro import obs
+from repro.obs.log import _STATE
+
+
+def _records(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def test_disabled_by_default_is_a_noop():
+    obs.configure(None)
+    log = obs.get_logger("test")
+    log.info("event.should.vanish", answer=42)
+    assert not obs.enabled()
+
+
+def test_file_sink_writes_one_json_object_per_line(tmp_path):
+    obs.configure(obs.ObsConfig(component="unit", obs_dir=str(tmp_path)))
+    log = obs.get_logger("unit")
+    log.info("thing.happened", count=3, name="x")
+    log.warning("thing.warned")
+
+    files = list((tmp_path / "logs").glob("unit-*.jsonl"))
+    assert len(files) == 1
+    records = _records(files[0])
+    assert [r["event"] for r in records] == ["thing.happened", "thing.warned"]
+    first = records[0]
+    assert first["level"] == "info" and first["component"] == "unit"
+    assert first["count"] == 3 and first["name"] == "x"
+    assert isinstance(first["ts"], float) and isinstance(first["pid"], int)
+
+
+def test_level_threshold_drops_below(tmp_path):
+    obs.configure(obs.ObsConfig(component="unit", obs_dir=str(tmp_path),
+                                level="warning"))
+    log = obs.get_logger("unit")
+    log.debug("nope")
+    log.info("nope.either")
+    log.error("kept")
+    [path] = (tmp_path / "logs").glob("*.jsonl")
+    assert [r["event"] for r in _records(path)] == ["kept"]
+
+
+def test_bind_stacks_and_restores(tmp_path):
+    obs.configure(obs.ObsConfig(component="unit", obs_dir=str(tmp_path)))
+    log = obs.get_logger("unit")
+    with obs.bind(campaign="c1"):
+        with obs.bind(batch_id="b1"):
+            log.info("inner")
+        log.info("outer")
+    log.info("unbound")
+    [path] = (tmp_path / "logs").glob("*.jsonl")
+    inner, outer, unbound = _records(path)
+    assert inner["campaign"] == "c1" and inner["batch_id"] == "b1"
+    assert outer["campaign"] == "c1" and "batch_id" not in outer
+    assert "campaign" not in unbound
+
+
+def test_correlation_ids_are_short_and_unique():
+    ids = {obs.new_correlation_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(len(i) == 12 for i in ids)
+
+
+def test_flight_recorder_ring_survives_disabled_sink_and_dumps(tmp_path):
+    obs.configure(obs.ObsConfig(component="unit", obs_dir=str(tmp_path),
+                                ring_size=4))
+    log = obs.get_logger("unit")
+    for i in range(10):
+        log.info("tick", i=i)
+    bundle = obs.dump_flight_recorder(reason="test")
+    assert bundle is not None
+    with open(f"{bundle}/flight.json") as fh:
+        payload = json.load(fh)
+    assert payload["reason"] == "test"
+    # Ring is bounded: only the newest ring_size events survive.
+    assert [e["i"] for e in payload["events"]] == [6, 7, 8, 9]
+
+
+def test_dump_flight_recorder_returns_none_when_disabled():
+    obs.configure(None)
+    assert obs.dump_flight_recorder() is None
+
+
+def test_crash_dump_writes_bundle_and_reraises(tmp_path):
+    obs.configure(obs.ObsConfig(component="unit", obs_dir=str(tmp_path)))
+    obs.get_logger("unit").info("before.crash")
+    try:
+        with obs.crash_dump("unit"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    bundles = list(tmp_path.glob("obs-bundle-unit-*/flight.json"))
+    assert len(bundles) == 1
+    assert json.loads(bundles[0].read_text())["reason"] == "crash"
+
+
+def test_autoconfigure_env_dir_enables_file_sinks(tmp_path, monkeypatch):
+    monkeypatch.delenv(obs.ENV_ENABLE, raising=False)
+    monkeypatch.setenv(obs.ENV_DIR, str(tmp_path))
+    monkeypatch.setenv(obs.ENV_LEVEL, "debug")
+    assert obs.autoconfigure("svc") is True
+    config = obs.current_config()
+    assert config.obs_dir == str(tmp_path) and config.level == "debug"
+    assert config.trace_dir == str(tmp_path / "traces")
+
+
+def test_autoconfigure_zero_forces_off_even_with_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(obs.ENV_ENABLE, "0")
+    monkeypatch.setenv(obs.ENV_DIR, str(tmp_path))
+    assert obs.autoconfigure("svc") is False
+    assert not obs.enabled()
+
+
+def test_autoconfigure_explicit_dir_wins_over_env(tmp_path, monkeypatch):
+    monkeypatch.delenv(obs.ENV_ENABLE, raising=False)
+    monkeypatch.setenv(obs.ENV_DIR, str(tmp_path / "env"))
+    obs.autoconfigure("svc", obs_dir=str(tmp_path / "flag"))
+    assert obs.current_config().obs_dir == str(tmp_path / "flag")
+
+
+def test_autoconfigure_without_signals_leaves_current(monkeypatch):
+    monkeypatch.delenv(obs.ENV_ENABLE, raising=False)
+    monkeypatch.delenv(obs.ENV_DIR, raising=False)
+    obs.configure(None)
+    assert obs.autoconfigure("svc") is False
+    assert obs.current_config() is None
+
+
+def test_torn_sink_never_raises(tmp_path):
+    obs.configure(obs.ObsConfig(component="unit", obs_dir=str(tmp_path)))
+    _STATE.sink.close()  # simulate a dead fd at shutdown
+    obs.get_logger("unit").info("survives")  # must not raise

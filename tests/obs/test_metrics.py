@@ -1,0 +1,131 @@
+"""Metrics registry: families, exposition rendering, and its inverse."""
+
+import pytest
+
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    counter_samples,
+    parse_exposition,
+)
+
+
+def test_counter_labels_and_render_round_trip():
+    reg = MetricsRegistry()
+    c = reg.counter("req_total", "requests", labels=("endpoint", "code"))
+    c.inc(endpoint="/claim", code="200")
+    c.inc(endpoint="/claim", code="200")
+    c.inc(endpoint="/status", code="404")
+
+    text = reg.render()
+    assert "# TYPE req_total counter" in text
+    samples, types = parse_exposition(text)
+    assert types["req_total"] == "counter"
+    key = ("req_total", frozenset({("endpoint", "/claim"), ("code", "200")}))
+    assert samples[key] == 2
+    assert samples[("req_total",
+                    frozenset({("endpoint", "/status"),
+                               ("code", "404")}))] == 1
+
+
+def test_counters_only_go_up():
+    c = MetricsRegistry().counter("n_total")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_unlabelled_families_render_a_zero_sample():
+    reg = MetricsRegistry()
+    reg.counter("never_touched_total", "zero")
+    samples, _ = parse_exposition(reg.render())
+    assert samples[("never_touched_total", frozenset())] == 0
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", labels=("state",))
+    g.set(5, state="queued")
+    g.inc(state="queued")
+    g.dec(2, state="queued")
+    assert g.value(state="queued") == 4
+    samples, types = parse_exposition(reg.render())
+    assert types["depth"] == "gauge"
+    assert samples[("depth", frozenset({("state", "queued")}))] == 4
+
+
+def test_histogram_buckets_sum_count():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    samples, types = parse_exposition(reg.render())
+    assert types["lat_seconds"] == "histogram"
+    bucket = lambda le: samples[("lat_seconds_bucket",
+                                 frozenset({("le", le)}))]
+    assert bucket("0.01") == 1
+    assert bucket("0.1") == 2
+    assert bucket("1") == 3
+    assert bucket("+Inf") == 4
+    assert samples[("lat_seconds_count", frozenset())] == 4
+    assert samples[("lat_seconds_sum", frozenset())] == pytest.approx(5.555)
+
+
+def test_func_families_evaluate_at_render_time():
+    reg = MetricsRegistry()
+    depth = {"queued": 3}
+    reg.gauge_func("queue_depth",
+                   lambda: [((state,), n) for state, n in depth.items()],
+                   labels=("state",))
+    reg.counter_func("done_total", lambda: 7)
+    samples, types = parse_exposition(reg.render())
+    assert samples[("queue_depth", frozenset({("state", "queued")}))] == 3
+    assert samples[("done_total", frozenset())] == 7
+    assert types["done_total"] == "counter"
+    depth["queued"] = 9
+    samples, _ = parse_exposition(reg.render())
+    assert samples[("queue_depth", frozenset({("state", "queued")}))] == 9
+
+
+def test_broken_callback_does_not_break_the_scrape():
+    reg = MetricsRegistry()
+    reg.gauge_func("bad", lambda: 1 / 0)
+    reg.counter("ok_total").inc()
+    samples, _ = parse_exposition(reg.render())
+    assert samples[("ok_total", frozenset())] == 1
+    assert not any(name == "bad" for name, _ in samples)
+
+
+def test_duplicate_and_invalid_names_rejected():
+    reg = MetricsRegistry()
+    reg.counter("a_total")
+    with pytest.raises(ValueError):
+        reg.counter("a_total")
+    with pytest.raises(ValueError):
+        reg.counter("0bad")
+    with pytest.raises(ValueError):
+        reg.counter("b_total", labels=("bad-label",))
+
+
+def test_label_values_are_escaped_and_unescaped():
+    reg = MetricsRegistry()
+    c = reg.counter("esc_total", labels=("msg",))
+    c.inc(msg='say "hi"\nplease\\now')
+    samples, _ = parse_exposition(reg.render())
+    [(name, labels)] = [k for k in samples if k[0] == "esc_total"]
+    assert dict(labels)["msg"] == 'say "hi"\nplease\\now'
+
+
+def test_counter_samples_includes_histogram_series():
+    reg = MetricsRegistry()
+    reg.counter("c_total").inc()
+    reg.gauge("g").set(2)
+    reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+    samples, types = parse_exposition(reg.render())
+    cumulative = counter_samples(samples, types)
+    names = {name for name, _ in cumulative}
+    assert "c_total" in names and "h_seconds_count" in names
+    assert "g" not in names
+
+
+def test_content_type_pins_prometheus_text_version():
+    assert "version=0.0.4" in CONTENT_TYPE

@@ -1,0 +1,132 @@
+"""`repro obs` subcommands: tail filtering, merge reporting, CLI wiring."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.cli import cmd_merge, cmd_tail, format_record, iter_log_records
+
+
+def _write_logs(tmp_path):
+    obs.configure(obs.ObsConfig(component="broker", obs_dir=str(tmp_path),
+                                level="debug"))
+    log = obs.get_logger("broker")
+    log.debug("claim.poll", runner="r1")
+    log.info("batch.ingested", campaign="c1", runs=4)
+    obs.configure(obs.ObsConfig(component="runner", obs_dir=str(tmp_path),
+                                level="debug"))
+    obs.get_logger("runner").warning("lease.lost", batch_id="b2")
+    obs.configure(None)
+
+
+def test_iter_log_records_merges_files_by_timestamp(tmp_path):
+    _write_logs(tmp_path)
+    records = list(iter_log_records(tmp_path))
+    assert [r["event"] for r in records] == [
+        "claim.poll", "batch.ingested", "lease.lost",
+    ]
+    assert records == sorted(records, key=lambda r: r["ts"])
+
+
+def test_tail_filters_level_and_component(tmp_path):
+    _write_logs(tmp_path)
+    out = io.StringIO()
+    assert cmd_tail(str(tmp_path), level="info", out=out) == 0
+    lines = out.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "batch.ingested" in lines[0] and "lease.lost" in lines[1]
+    assert "claim.poll" not in out.getvalue()
+
+    out = io.StringIO()
+    cmd_tail(str(tmp_path), component="runner", out=out)
+    assert out.getvalue().count("\n") == 1
+    assert "lease.lost" in out.getvalue()
+
+
+def test_tail_json_mode_round_trips(tmp_path):
+    _write_logs(tmp_path)
+    out = io.StringIO()
+    cmd_tail(str(tmp_path), as_json=True, out=out)
+    records = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert records[1]["campaign"] == "c1" and records[1]["runs"] == 4
+
+
+def test_format_record_is_single_line_and_shows_fields():
+    line = format_record({"ts": 1723100000.0, "level": "warning",
+                          "component": "broker", "pid": 7,
+                          "event": "lease.expired", "batch_id": "b1"})
+    assert "\n" not in line
+    assert "WARN" in line and "broker[7]" in line
+    assert "lease.expired" in line and "batch_id=b1" in line
+
+
+def test_tail_missing_path_raises_oserror(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        cmd_tail(str(tmp_path / "nope"))
+
+
+def test_cmd_merge_reports_and_flags_schema_problems(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path)))
+    tracer = obs.service_tracer("broker")
+    with tracer.span("claim", obs.new_trace_id()):
+        pass
+    obs.configure(None)
+    out = io.StringIO()
+    assert cmd_merge(str(tmp_path), out_path=str(tmp_path / "m.json"),
+                     out=out) == 0
+    assert "1 spans, 1 trace id(s)" in out.getvalue()
+
+    # Corrupt a span file so the merged doc violates the schema.
+    [path] = (tmp_path / "traces").glob("broker-*.jsonl")
+    events = [json.loads(l) for l in path.read_text().splitlines()]
+    for event in events:
+        if event.get("ph") == "b":
+            event["args"].pop("trace_id")
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    out = io.StringIO()
+    assert cmd_merge(str(tmp_path), out=out) == 1
+    assert "SCHEMA:" in out.getvalue()
+
+
+def test_cli_obs_tail_and_merge_wiring(tmp_path, capsys):
+    _write_logs(tmp_path)
+    assert main(["obs", "tail", str(tmp_path), "--level", "warning"]) == 0
+    out = capsys.readouterr().out
+    assert "lease.lost" in out and "batch.ingested" not in out
+
+    # merge on a dir with no traces/ subdir -> empty but valid doc.
+    assert main(["obs", "merge", str(tmp_path),
+                 "--out", str(tmp_path / "merged.json")]) == 0
+    assert json.loads((tmp_path / "merged.json").read_text())["otherData"][
+        "kind"] == "service"
+
+
+def test_cli_obs_tail_missing_path_exits_2(tmp_path, capsys):
+    assert main(["obs", "tail", str(tmp_path / "missing")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_obs_tail_into_closed_pipe_exits_quietly(tmp_path):
+    # `repro obs tail ... | head` closes our stdout mid-stream; a
+    # well-behaved filter exits 0 with nothing on stderr.
+    import os
+    import subprocess
+    import sys
+
+    _write_logs(tmp_path)
+    log = obs.get_logger("runner")
+    for i in range(4000):  # well past the 64 KiB pipe buffer
+        log.info("batch.progress", step=i, padding="x" * 64)
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.run(
+        f"{sys.executable} -m repro obs tail {tmp_path} | head -1",
+        shell=True, cwd=os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))),
+        env=env, capture_output=True, text=True, timeout=60,
+    )
+    assert proc.returncode == 0
+    assert "error" not in proc.stderr.lower()
+    assert proc.stdout.count("\n") == 1

@@ -1,0 +1,141 @@
+"""Service tracing: spans, header propagation, cross-process merge."""
+
+import json
+
+from repro import obs
+from repro.obs.trace import Span, parse_trace_header, service_tracer
+from repro.telemetry.trace_schema import validate_trace
+
+
+def _span_file_events(tmp_path, component):
+    [path] = (tmp_path / "traces").glob(f"{component}-*.jsonl")
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def test_tracer_is_none_without_file_sinks(tmp_path):
+    obs.configure(None)
+    assert service_tracer("broker") is None
+    # stderr-only logging (no obs_dir) must not enable tracing either.
+    obs.configure(obs.ObsConfig(component="x"))
+    assert service_tracer("broker") is None
+
+
+def test_span_emits_balanced_pair_with_own_id(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path)))
+    tracer = service_tracer("broker")
+    trace_id = obs.new_trace_id()
+    with tracer.span("claim", trace_id, parent="aabbccdd",
+                     args={"batch_id": "b1"}) as span:
+        assert obs.current_span() == (trace_id, span.span_id)
+        assert obs.current_trace_header() == f"{trace_id}-{span.span_id}"
+    assert obs.current_span() is None
+
+    meta, begin, end = _span_file_events(tmp_path, "broker")
+    assert meta["ph"] == "M" and meta["name"] == "process_name"
+    assert begin["ph"] == "b" and end["ph"] == "e"
+    assert begin["cat"] == end["cat"] == "service"
+    assert begin["id"] == end["id"] == span.span_id
+    assert begin["args"]["trace_id"] == trace_id
+    assert begin["args"]["span_id"] == span.span_id
+    assert begin["args"]["parent_span_id"] == "aabbccdd"
+    assert begin["args"]["component"] == "broker"
+    assert begin["args"]["batch_id"] == "b1"
+    assert end["ts"] >= begin["ts"]
+
+
+def test_span_exit_records_error_class(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path)))
+    tracer = service_tracer("broker")
+    try:
+        with tracer.span("ingest", obs.new_trace_id()):
+            raise KeyError("x")
+    except KeyError:
+        pass
+    *_, end = _span_file_events(tmp_path, "broker")
+    assert end["args"]["error"] == "KeyError"
+
+
+def test_begin_end_do_not_touch_active_span(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path)))
+    tracer = service_tracer("coordinator")
+    span = tracer.span("campaign", obs.new_trace_id()).begin()
+    assert obs.current_span() is None
+    span.end(batches=3)
+    *_, end = _span_file_events(tmp_path, "coordinator")
+    assert end["args"]["batches"] == 3
+
+
+def test_span_at_emits_retrospective_pair(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path)))
+    tracer = service_tracer("broker")
+    tracer.span_at("enqueue", obs.new_trace_id(), 1000, 2000)
+    *_, begin, end = _span_file_events(tmp_path, "broker")
+    assert (begin["ts"], end["ts"]) == (1000, 2000)
+
+
+def test_components_sharing_a_process_get_distinct_pids(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path)))
+    pids = {service_tracer(c).pid for c in ("coordinator", "broker", "runner")}
+    assert len(pids) == 3
+
+
+def test_header_round_trip_and_rejects():
+    header = obs.format_trace_header("aa11", "bb22")
+    assert parse_trace_header(header) == ("aa11", "bb22")
+    assert parse_trace_header(None) is None
+    assert parse_trace_header("") is None
+    assert parse_trace_header("zz-yy") is None
+    assert parse_trace_header("abc") is None
+    assert parse_trace_header("a-b-c") is None
+
+
+def test_merge_closes_truncated_spans_and_validates(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path)))
+    trace_id = obs.new_trace_id()
+    broker = service_tracer("broker")
+    with broker.span("claim", trace_id):
+        pass
+    # A runner that died mid-batch: begin with no matching end.
+    runner = service_tracer("runner")
+    runner.span("batch-run", trace_id, args={"batch_id": "b9"}).begin()
+    obs.configure(None)  # close tracer files
+
+    out = tmp_path / "merged.json"
+    doc = obs.merge_service_traces(tmp_path, out_path=out)
+    assert validate_trace(doc) == []
+    assert doc["otherData"]["schema_version"] == obs.SERVICE_SCHEMA_VERSION
+    assert doc["otherData"]["spans_truncated"] == 1
+    assert doc["otherData"]["trace_ids"] == [trace_id]
+    assert len(doc["otherData"]["sources"]) == 2
+    ends = [e for e in doc["traceEvents"]
+            if e.get("ph") == "e" and e.get("args", {}).get("truncated")]
+    assert len(ends) == 1 and ends[0]["name"] == "batch-run"
+    assert json.loads(out.read_text()) == doc
+
+
+def test_merge_skips_torn_tail_lines(tmp_path):
+    traces = tmp_path / "traces"
+    traces.mkdir()
+    good = {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+            "args": {"name": "x"}}
+    (traces / "broker-1.jsonl").write_text(
+        json.dumps(good) + "\n" + '{"ph": "b", "cat": "serv'
+    )
+    doc = obs.merge_service_traces(tmp_path)
+    assert doc["traceEvents"] == [good]
+
+
+def test_reconfigure_resets_tracers(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path / "a")))
+    first = service_tracer("broker")
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path / "b")))
+    second = service_tracer("broker")
+    assert first is not second
+    assert str(tmp_path / "b") in second.path
+
+
+def test_span_header_matches_wire_format(tmp_path):
+    obs.configure(obs.ObsConfig(component="svc", obs_dir=str(tmp_path)))
+    tracer = service_tracer("runner")
+    span = Span(tracer, "batch-run", "cafe" * 4, None, None)
+    assert parse_trace_header(span.header()) == ("cafe" * 4, span.span_id)

@@ -202,3 +202,47 @@ def test_limit_and_order(tmp_path):
     rows = index.query(limit=2)
     assert len(rows) == 2
     assert [r["seed"] for r in rows] == [1, 2]
+
+
+# -- --since -----------------------------------------------------------------
+
+def test_parse_duration_units_and_bare_seconds():
+    from repro.service.index import parse_duration
+
+    assert parse_duration("45s") == 45.0
+    assert parse_duration("15m") == 900.0
+    assert parse_duration("2h") == 7200.0
+    assert parse_duration("1d") == 86400.0
+    assert parse_duration("90") == 90.0
+    assert parse_duration(" 1.5h ") == 5400.0
+
+
+@pytest.mark.parametrize("bad", ["", "m", "abc", "-5m", "1w", "1h30m"])
+def test_parse_duration_rejects_garbage(bad):
+    from repro.service.index import parse_duration
+
+    with pytest.raises(ValueError, match=r"NUMBER\[s\|m\|h\|d\]|duration"):
+        parse_duration(bad)
+
+
+def test_since_filters_by_updated_at(tmp_path):
+    store = ResultStore(tmp_path)
+    index = ResultIndex(tmp_path)
+    _ingest(index, store, CFG)
+    _ingest(index, store, CFG.with_(seed=2))
+    # Age one row by an hour, straight in the table -- as if it had been
+    # ingested by yesterday's campaign.
+    index._conn.execute(
+        "UPDATE results SET updated_at = updated_at - 3600 WHERE key = ?",
+        (store.key(CFG),),
+    )
+    index._conn.commit()
+
+    assert index.count() == 2
+    assert index.count(since=600.0) == 1
+    assert index.count(since=7200.0) == 2
+    rows = index.query(since=600.0)
+    assert [r["key"] for r in rows] == [store.key(CFG.with_(seed=2))]
+    # Composes with where filters.
+    assert index.count({"scheme": "baseline"}, since=600.0) == 1
+    assert index.count({"scheme": "nomad"}, since=600.0) == 0

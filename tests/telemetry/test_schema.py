@@ -74,3 +74,64 @@ def test_problem_cap_suppresses_tail():
     problems = validate_trace(_doc(events), max_problems=5)
     assert problems[-1].startswith("...")
     assert len(problems) <= 7
+
+
+# -- schema version 2: service spans -----------------------------------------
+
+def _service_span(span_id="ab12cd34", trace_id="c0ffee00c0ffee00",
+                  **overrides):
+    begin = {"ph": "b", "cat": "service", "id": span_id, "name": "claim",
+             "pid": 9, "tid": 0, "ts": 100,
+             "args": {"trace_id": trace_id, "span_id": span_id,
+                      "component": "broker"}}
+    begin.update(overrides)
+    end = {"ph": "e", "cat": "service", "id": span_id, "name": "claim",
+           "pid": 9, "tid": 0, "ts": 200, "args": {}}
+    return [begin, end]
+
+
+def test_service_span_valid_at_v2():
+    assert validate_trace(_doc(_service_span(), schema_version=2)) == []
+
+
+def test_service_category_requires_v2():
+    problems = validate_trace(_doc(_service_span(), schema_version=1))
+    assert any("requires schema_version >= 2" in p for p in problems)
+
+
+def test_unknown_schema_version_flagged():
+    problems = validate_trace(_doc(schema_version=99))
+    assert any("not in [1, 2]" in p for p in problems)
+
+
+def test_service_begin_needs_string_trace_id():
+    events = _service_span()
+    events[0]["args"]["trace_id"] = 123
+    problems = validate_trace(_doc(events, schema_version=2))
+    assert any("args.trace_id" in p for p in problems)
+
+
+def test_service_span_id_must_match_event_id():
+    events = _service_span()
+    events[0]["args"]["span_id"] = "something-else"
+    problems = validate_trace(_doc(events, schema_version=2))
+    assert any("args.span_id must equal the event id" in p for p in problems)
+
+
+def test_synthetic_truncated_end_passes_with_explicit_close():
+    # merge_service_traces closes crashed spans with a bare "e" whose
+    # args only say truncated -- the schema must accept that shape.
+    begin, _ = _service_span()
+    end = {"ph": "e", "cat": "service", "id": begin["id"], "name": "claim",
+           "pid": 9, "tid": 0, "ts": 500, "args": {"truncated": True}}
+    assert validate_trace(_doc([begin, end], schema_version=2)) == []
+
+
+def test_v1_simulation_trace_unaffected_by_v2_rules():
+    events = [
+        {"ph": "b", "cat": "dram", "id": 7, "name": "fill", "pid": 1,
+         "tid": 0, "ts": 0},
+        {"ph": "e", "cat": "dram", "id": 7, "name": "fill", "pid": 1,
+         "tid": 0, "ts": 5},
+    ]
+    assert validate_trace(_doc(events, schema_version=1)) == []

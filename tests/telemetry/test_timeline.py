@@ -105,3 +105,52 @@ def test_describe_summary_warns_on_drops_and_truncation():
     text = describe_summary(summarize_trace(doc))
     assert "dropped" in text
     assert "3 span(s) still open" in text
+
+
+def _service_doc():
+    def span(name, span_id, component, t0, t1, pid):
+        args = {"trace_id": "feedfacefeedface", "span_id": span_id,
+                "component": component}
+        return [
+            {"ph": "b", "cat": "service", "id": span_id, "name": name,
+             "pid": pid, "tid": 0, "ts": t0, "args": args},
+            {"ph": "e", "cat": "service", "id": span_id, "name": name,
+             "pid": pid, "tid": 0, "ts": t1, "args": {}},
+        ]
+
+    events = (
+        span("campaign", "aa000001", "coordinator", 0, 50_000, 11)
+        + span("claim", "aa000002", "broker", 1_000, 2_000, 22)
+        + span("batch-run", "aa000003", "runner", 2_000, 42_000, 33)
+        + span("batch-run", "aa000004", "runner", 3_000, 23_000, 33)
+        + span("ingest", "aa000005", "broker", 42_000, 43_000, 22)
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema_version": 2, "kind": "service",
+                      "trace_ids": ["feedfacefeedface"]},
+    }
+
+
+def test_summarize_trace_service_spans():
+    summary = summarize_trace(_service_doc())
+    assert summary["service_components"] == {
+        "coordinator": 1, "broker": 2, "runner": 2,
+    }
+    assert summary["trace_ids"] == ["feedfacefeedface"]
+    spans = summary["service_spans"]
+    assert set(spans) == {"campaign", "claim", "batch-run", "ingest"}
+    assert spans["batch-run"]["count"] == 2
+    assert spans["batch-run"]["max"] == 40_000
+    assert spans["claim"]["p50"] == 1_000
+
+
+def test_describe_summary_renders_service_section():
+    text = describe_summary(summarize_trace(_service_doc()))
+    assert "service campaign trace" in text
+    assert "service spans" in text
+    # Canonical tree order, not alphabetical.
+    assert text.index("campaign:") < text.index("claim:") \
+        < text.index("batch-run:") < text.index("ingest:")
+    assert "1 trace id(s)" in text

@@ -310,3 +310,36 @@ def test_sweep_distributed_local_service_round_trip(tmp_path, capsys):
                  "--store", str(tmp_path), "--no-progress"]) == 0
     out = capsys.readouterr().out
     assert "0 simulated, 2 cached" in out
+
+
+def test_results_since_filters_recent_rows(tmp_path, capsys):
+    _seed_store(tmp_path)
+    capsys.readouterr()
+    # Everything was ingested moments ago: a generous window keeps all
+    # rows, and it composes with --where.
+    assert main(["results", "--store", str(tmp_path),
+                 "--since", "15m", "--count"]) == 0
+    assert capsys.readouterr().out.strip() == "4"
+    assert main(["results", "--store", str(tmp_path), "--since", "1h",
+                 "--where", "scheme=nomad", "--count"]) == 0
+    assert capsys.readouterr().out.strip() == "2"
+
+    # Age two rows in the index; a narrow window must exclude them.
+    from repro.service.index import ResultIndex
+
+    index = ResultIndex(tmp_path)
+    index._conn.execute(
+        "UPDATE results SET updated_at = updated_at - 86400 "
+        "WHERE scheme = 'baseline'"
+    )
+    index._conn.commit()
+    index.close()
+    assert main(["results", "--store", str(tmp_path),
+                 "--since", "1h", "--count"]) == 0
+    assert capsys.readouterr().out.strip() == "2"
+
+
+def test_results_since_rejects_bad_duration(tmp_path, capsys):
+    assert main(["results", "--store", str(tmp_path),
+                 "--since", "fortnight"]) == 2
+    assert "NUMBER[s|m|h|d]" in capsys.readouterr().err
